@@ -1,0 +1,120 @@
+// Command jaal-controller runs Jaal's central analysis-and-inference
+// engine: it maintains long-lived TCP connections to a set of monitors,
+// polls them for summaries every epoch (2 s by default, as deployed in
+// §7), aggregates, evaluates the translated rule library, and logs
+// alerts.
+//
+// Usage:
+//
+//	jaal-controller -monitors host1:7101,host2:7101 [-epoch 2s]
+//	                [-home 10.0.0.0/8] [-feedback]
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/netip"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/rules"
+	"repro/internal/summary"
+)
+
+func main() {
+	var (
+		monitorList = flag.String("monitors", "127.0.0.1:7101", "comma-separated monitor addresses")
+		epoch       = flag.Duration("epoch", 2*time.Second, "summary polling period P")
+		home        = flag.String("home", "10.0.0.0/8", "HOME_NET prefix for rule translation")
+		feedback    = flag.Bool("feedback", true, "enable the two-threshold feedback loop")
+		tau1        = flag.Float64("tau1", 0.015, "feedback first-stage threshold τ_d1")
+		tau2        = flag.Float64("tau2", 0.12, "feedback second-stage threshold τ_d2")
+		count2      = flag.Float64("count2", 0.55, "feedback second-stage τ_c relaxation (0–1]")
+		volume      = flag.Int("volume", 4000, "expected packets per epoch (scales volumetric count thresholds)")
+	)
+	flag.Parse()
+
+	prefix, err := netip.ParsePrefix(*home)
+	if err != nil {
+		log.Fatalf("jaal-controller: bad -home: %v", err)
+	}
+	env := rules.NewEnvironment()
+	env.Set("HOME_NET", prefix)
+
+	questions, err := rules.LibraryQuestions(env, rules.TranslateConfig{
+		DefaultDistanceThreshold: 0.08,
+		VarianceThreshold:        0.005,
+	})
+	if err != nil {
+		log.Fatalf("jaal-controller: %v", err)
+	}
+	for id, q := range questions {
+		questions[id] = q.ScaleForVolume(*volume)
+	}
+	fb := make(map[rules.AttackID]inference.FeedbackConfig, len(questions))
+	for id, q := range questions {
+		fb[id] = inference.FeedbackConfig{
+			TauD1:       q.EffectiveTau(*tau1),
+			TauD2:       q.EffectiveTau(*tau2),
+			CountScale2: *count2,
+		}
+	}
+
+	ctrl, err := core.NewController(core.ControllerConfig{
+		Env: env, Questions: questions, Feedback: fb, UseFeedback: *feedback,
+	})
+	if err != nil {
+		log.Fatalf("jaal-controller: %v", err)
+	}
+
+	var remotes []*core.RemoteMonitor
+	for _, addr := range strings.Split(*monitorList, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			log.Fatalf("jaal-controller: dial %s: %v", addr, err)
+		}
+		rm, err := core.DialMonitor(conn)
+		if err != nil {
+			log.Fatalf("jaal-controller: hello %s: %v", addr, err)
+		}
+		ctrl.RegisterSource(rm.ID(), rm)
+		remotes = append(remotes, rm)
+		log.Printf("connected to monitor %d at %s", rm.ID(), addr)
+	}
+	if len(remotes) == 0 {
+		log.Fatal("jaal-controller: no monitors")
+	}
+
+	log.Printf("polling %d monitors every %v (feedback=%v)", len(remotes), *epoch, *feedback)
+	ticker := time.NewTicker(*epoch)
+	defer ticker.Stop()
+	for range ticker.C {
+		var all []*summary.Summary
+		for _, rm := range remotes {
+			ss, err := rm.PollSummaries(ctrl.Epoch())
+			if err != nil {
+				log.Printf("poll monitor %d: %v", rm.ID(), err)
+				continue
+			}
+			all = append(all, ss...)
+		}
+		alerts, err := ctrl.ProcessEpoch(all)
+		if err != nil {
+			log.Printf("inference: %v", err)
+			continue
+		}
+		for _, a := range alerts {
+			log.Printf("%s", a)
+		}
+		st := ctrl.Stats()
+		log.Printf("epoch %d: %d summaries, %d packets summarized, overhead %.1f%% of raw",
+			ctrl.Epoch()-1, len(all), st.PacketsSummarized, 100*st.OverheadFraction())
+	}
+}

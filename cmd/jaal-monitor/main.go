@@ -1,0 +1,97 @@
+// Command jaal-monitor runs one Jaal monitor: it generates (or, in a
+// real deployment, would capture) traffic, summarizes batches, and
+// serves the controller's wire-protocol requests — load queries, summary
+// polls and raw-batch fetches (§7).
+//
+// Usage:
+//
+//	jaal-monitor -listen :7101 -id 0 [-batch 1000] [-rank 12] [-k 200]
+//	             [-trace 1] [-attack distributed_syn_flood] [-pps 5000]
+//
+// The monitor synthesizes background traffic continuously (standing in
+// for a tap on a production link) and optionally mixes in a labeled
+// attack, so a controller pointed at it observes realistic summaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/summary"
+	"repro/internal/trafficgen"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":7101", "address to serve the controller on")
+		id     = flag.Int("id", 0, "monitor ID")
+		batch  = flag.Int("batch", 1000, "batch size n")
+		rank   = flag.Int("rank", 12, "retained SVD rank r")
+		k      = flag.Int("k", 200, "number of centroids k")
+		nmin   = flag.Int("nmin", 600, "minimum batch size n_min")
+		trace  = flag.Int64("trace", 1, "background trace seed (1 or 2)")
+		attack = flag.String("attack", "", "attack to inject (empty = clean traffic)")
+		pps    = flag.Int("pps", 5000, "synthesized packets per second")
+	)
+	flag.Parse()
+
+	mon, err := core.NewMonitor(*id, summary.Config{
+		BatchSize: *batch, Rank: *rank, Centroids: *k, MinBatch: *nmin, Seed: int64(*id) + 1,
+	})
+	if err != nil {
+		log.Fatalf("jaal-monitor: %v", err)
+	}
+
+	bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(*trace))
+	var atk trafficgen.Attack
+	if *attack != "" {
+		atk, err = trafficgen.NewAttack(rules.AttackID(*attack), trafficgen.AttackConfig{Seed: int64(*id) + 100})
+		if err != nil {
+			log.Fatalf("jaal-monitor: %v", err)
+		}
+	}
+	mix := trafficgen.NewMixer(bg, atk, trafficgen.MixConfig{Seed: int64(*id) + 7})
+
+	// Ingest loop: synthesize traffic at the requested rate.
+	go func() {
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		per := *pps / 10
+		for range tick.C {
+			for i := 0; i < per; i++ {
+				if err := mon.Ingest(mix.Next().Header); err != nil {
+					log.Printf("jaal-monitor: ingest: %v", err)
+				}
+			}
+		}
+	}()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("jaal-monitor: %v", err)
+	}
+	log.Printf("jaal-monitor %d listening on %s (batch=%d rank=%d k=%d attack=%q)",
+		*id, ln.Addr(), *batch, *rank, *k, *attack)
+
+	srv := &core.MonitorServer{Monitor: mon}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("jaal-monitor: accept: %v", err)
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			log.Printf("controller connected from %s", c.RemoteAddr())
+			if err := srv.Serve(c); err != nil {
+				log.Printf("session ended: %v", err)
+			} else {
+				fmt.Println("controller disconnected")
+			}
+		}(conn)
+	}
+}

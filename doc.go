@@ -1,0 +1,34 @@
+// Package repro is a from-scratch Go reproduction of "Jaal: Towards
+// Network Intrusion Detection at ISP Scale" (Aqil et al., CoNEXT 2017).
+//
+// Jaal detects attacks at ISP scale without copying raw packets to a
+// central engine: in-network monitors compress batches of packet headers
+// into small summaries — a truncated SVD across the 18 TCP/IP header
+// fields followed by k-means++ clustering across packets — and a central
+// controller matches translated Snort-style rules (question vectors)
+// against the aggregated summaries, falling back to raw packets only for
+// uncertain centroids.
+//
+// The implementation layout:
+//
+//   - internal/linalg, internal/packet: math and packet substrates
+//   - internal/summary, internal/rules, internal/inference: the paper's
+//     §4–§5 pipeline (summarization, rule translation, similarity
+//     estimation, variance postprocessing, feedback loop)
+//   - internal/flowassign, internal/topology, internal/netsim: the §6
+//     flow assignment and the evaluation's network substrates
+//   - internal/trafficgen, internal/snort, internal/sampling,
+//     internal/sketch, internal/mirai: workloads and baselines
+//   - internal/core, internal/wire: the deployable system (monitors and
+//     controller over TCP)
+//   - internal/experiments: the harness regenerating every table and
+//     figure of the paper's §8
+//
+// The root package holds the repository-wide benchmark suite
+// (bench_test.go), which regenerates each evaluation figure as a
+// testing.B benchmark, and the capstone TCP deployment integration test.
+//
+// See README.md for usage, DESIGN.md for the system inventory and the
+// substitutions made for the paper's proprietary substrates, and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package repro

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/summary"
+	"repro/internal/trafficgen"
+)
+
+// TestMonitorConcurrentIngestAndPoll drives a monitor from concurrent
+// goroutines the way a deployment does: a packet-ingest loop racing the
+// controller's summary polls, raw fetches, load queries and epoch
+// advances. Run with -race.
+func TestMonitorConcurrentIngestAndPoll(t *testing.T) {
+	m, err := NewMonitor(1, summary.Config{BatchSize: 200, Rank: 8, Centroids: 40, MinBatch: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(41))
+		for i := 0; i < 5000; i++ {
+			if err := m.Ingest(bg.Next()); err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+		}
+		close(stop)
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ss, _, err := m.CollectSummaries()
+			if err != nil {
+				t.Errorf("collect: %v", err)
+				return
+			}
+			for _, s := range ss {
+				for c := 0; c < s.K(); c++ {
+					m.RawPackets(s.Epoch, c)
+				}
+			}
+			m.LoadAndReset()
+			m.AdvanceEpoch()
+		}
+	}()
+
+	wg.Wait()
+}
+
+// TestControllerConcurrentEpochs runs inference rounds from multiple
+// goroutines against a shared controller; stats and alerts must stay
+// consistent. Run with -race.
+func TestControllerConcurrentEpochs(t *testing.T) {
+	ctrl, err := NewController(ControllerConfig{Env: testEnv(), Questions: testQuestions(t, 1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(seed))
+			szr, err := NewMonitor(int(seed), summary.Config{BatchSize: 250, Rank: 8, Centroids: 50, MinBatch: 50, Seed: seed})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for round := 0; round < 3; round++ {
+				if err := szr.IngestBatch(bg.Batch(250)); err != nil {
+					t.Error(err)
+					return
+				}
+				ss, _, err := szr.CollectSummaries()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ctrl.ProcessEpoch(ss); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(50 + g))
+	}
+	wg.Wait()
+	if st := ctrl.Stats(); st.Epochs != 12 {
+		t.Fatalf("epochs = %d, want 12", st.Epochs)
+	}
+	_ = ctrl.Alerts()
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/inference"
+	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/snort"
+	"repro/internal/summary"
+)
+
+// RawSource abstracts how the controller reaches a monitor's retained
+// raw packets: directly (in-process pipeline) or over the wire protocol.
+type RawSource interface {
+	RawPackets(epoch uint64, centroid int) []packet.Header
+}
+
+// Controller is Jaal's central analysis-and-inference engine (§5). It
+// aggregates the summaries polled from monitors each epoch, evaluates
+// every translated rule against the aggregate, and raises alerts — by
+// direct similarity matching, variance postprocessing, and optionally
+// the two-threshold feedback loop with raw-packet retrieval.
+type Controller struct {
+	env       *rules.Environment
+	questions map[rules.AttackID]*rules.Question
+	feedback  map[rules.AttackID]inference.FeedbackConfig
+	// useFeedback enables the two-stage path for attacks with a
+	// feedback config.
+	useFeedback bool
+
+	mu      sync.Mutex
+	sources map[int]RawSource
+	epoch   uint64
+	alerts  []*inference.Alert
+	// stats accumulate communication accounting across epochs.
+	stats Stats
+}
+
+// wireSizeBytes is the per-header transfer cost used by the overhead
+// accounting; it matches the packet wire format.
+const wireSizeBytes = packet.WireSize
+
+// Stats tracks the communication accounting of §8.
+type Stats struct {
+	// SummaryElements is the total float64 elements received in
+	// summaries.
+	SummaryElements int
+	// RawPacketsFetched counts raw headers pulled by the feedback loop.
+	RawPacketsFetched int
+	// PacketsSummarized is the total raw packets the summaries stand for.
+	PacketsSummarized int
+	// Epochs is the number of inference rounds executed.
+	Epochs int
+	// AlertsRaised counts issued alerts.
+	AlertsRaised int
+}
+
+// SummaryBytes estimates the bytes transferred for summaries (4 bytes
+// per float32 element on the wire).
+func (s Stats) SummaryBytes() int { return s.SummaryElements * 4 }
+
+// RawHeaderBytes returns the bytes the equivalent raw-header transfer
+// would have cost, the baseline of the paper's overhead comparison.
+func (s Stats) RawHeaderBytes() int { return s.PacketsSummarized * wireSizeBytes }
+
+// FeedbackBytes returns bytes spent on feedback raw fetches.
+func (s Stats) FeedbackBytes() int { return s.RawPacketsFetched * wireSizeBytes }
+
+// OverheadFraction returns (summary + feedback bytes) / raw bytes: the
+// paper's headline "35 % of raw" metric.
+func (s Stats) OverheadFraction() float64 {
+	raw := s.RawHeaderBytes()
+	if raw == 0 {
+		return 0
+	}
+	return float64(s.SummaryBytes()+s.FeedbackBytes()) / float64(raw)
+}
+
+// ControllerConfig assembles a controller.
+type ControllerConfig struct {
+	// Env resolves rule variables ($HOME_NET etc.).
+	Env *rules.Environment
+	// Questions are the translated rules to evaluate each epoch.
+	Questions map[rules.AttackID]*rules.Question
+	// Feedback holds per-attack two-threshold configs; attacks present
+	// here use the feedback loop when UseFeedback is set.
+	Feedback map[rules.AttackID]inference.FeedbackConfig
+	// UseFeedback enables the §5.3 two-stage path.
+	UseFeedback bool
+}
+
+// NewController builds a controller.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if len(cfg.Questions) == 0 {
+		return nil, fmt.Errorf("core: controller needs at least one question")
+	}
+	for id, fb := range cfg.Feedback {
+		if err := fb.Validate(); err != nil {
+			return nil, fmt.Errorf("core: feedback config for %s: %w", id, err)
+		}
+	}
+	return &Controller{
+		env:         cfg.Env,
+		questions:   cfg.Questions,
+		feedback:    cfg.Feedback,
+		useFeedback: cfg.UseFeedback,
+		sources:     make(map[int]RawSource),
+	}, nil
+}
+
+// RegisterSource attaches a monitor's raw-packet source for the feedback
+// loop.
+func (c *Controller) RegisterSource(monitorID int, src RawSource) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sources[monitorID] = src
+}
+
+// fetcher adapts the controller's source registry to
+// inference.RawPacketFetcher, memoizing within one inference round so
+// several questions pulling the same uncertain centroid cost one
+// transfer (and are accounted once).
+type fetcher struct {
+	c     *Controller
+	memo  map[inference.CentroidRef][]packet.Header
+	bytes *int // deduplicated raw-header count for stats
+}
+
+func newFetcher(c *Controller) *fetcher {
+	n := 0
+	return &fetcher{c: c, memo: make(map[inference.CentroidRef][]packet.Header), bytes: &n}
+}
+
+func (f *fetcher) FetchRaw(ref inference.CentroidRef) ([]packet.Header, error) {
+	if hs, ok := f.memo[ref]; ok {
+		return hs, nil
+	}
+	f.c.mu.Lock()
+	src, ok := f.c.sources[ref.MonitorID]
+	f.c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no raw source for monitor %d", ref.MonitorID)
+	}
+	hs := src.RawPackets(ref.Epoch, ref.Centroid)
+	f.memo[ref] = hs
+	*f.bytes += len(hs)
+	return hs, nil
+}
+
+// ProcessEpoch runs one inference round over the summaries collected
+// from all monitors and returns the alerts raised (§5.1–§5.3).
+func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Alert, error) {
+	agg, err := inference.AggregateSummaries(summaries)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	epoch := c.epoch
+	c.epoch++
+	c.stats.Epochs++
+	c.stats.SummaryElements += agg.Elements
+	c.stats.PacketsSummarized += agg.TotalPackets
+	c.mu.Unlock()
+
+	var alerts []*inference.Alert
+	matcher := snort.RawMatcher{Env: c.env}
+	fet := newFetcher(c)
+
+	// Deterministic evaluation order.
+	ids := make([]rules.AttackID, 0, len(c.questions))
+	for id := range c.questions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, id := range ids {
+		q := c.questions[id]
+		fb, hasFB := c.feedback[id]
+		if c.useFeedback && hasFB {
+			res, err := inference.RunFeedback(agg, q, fb, fet, matcher)
+			if err != nil {
+				return nil, err
+			}
+			if res.Alerted {
+				alerts = append(alerts, inference.NewAlertFromFeedback(id, epoch, res))
+			}
+			continue
+		}
+		m := inference.EstimateSimilarity(agg, q)
+		if m.Alerted() {
+			alerts = append(alerts, inference.NewAlertFromMatch(id, epoch, m))
+		}
+	}
+
+	c.mu.Lock()
+	c.alerts = append(c.alerts, alerts...)
+	c.stats.AlertsRaised += len(alerts)
+	c.stats.RawPacketsFetched += *fet.bytes
+	c.mu.Unlock()
+	return alerts, nil
+}
+
+// Alerts returns all alerts raised so far.
+func (c *Controller) Alerts() []*inference.Alert {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*inference.Alert, len(c.alerts))
+	copy(out, c.alerts)
+	return out
+}
+
+// Stats returns a copy of the accumulated accounting.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Epoch returns the next epoch number to be processed.
+func (c *Controller) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}

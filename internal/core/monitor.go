@@ -1,0 +1,156 @@
+// Package core is Jaal's public API: it wires the summarization module
+// (monitors), the analysis-and-inference module (controller), and the
+// flow-assignment module into a deployable system, both in-process (for
+// experiments and tests) and over TCP using the wire protocol (§7).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/summary"
+)
+
+// Monitor is one in-network monitoring point: it ingests the packet
+// headers of flows assigned to it, buffers them into batches, summarizes
+// sealed batches, and retains raw packets for one epoch so the
+// controller's feedback loop can fetch them (§4, §7).
+//
+// Monitor is safe for concurrent use: packet ingestion and controller
+// requests may arrive on different goroutines.
+type Monitor struct {
+	id int
+
+	mu         sync.Mutex
+	buf        *summary.Buffer
+	summarizer *summary.Summarizer
+	// ready holds summaries of sealed batches not yet shipped.
+	ready []*summary.Summary
+	// load tracks packets ingested in the current load window,
+	// answering the flow-assignment module's load queries.
+	load int
+}
+
+// NewMonitor builds a monitor with the given summarization config.
+func NewMonitor(id int, cfg summary.Config) (*Monitor, error) {
+	szr, err := summary.NewSummarizer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		id:         id,
+		buf:        summary.NewBuffer(cfg.BatchSize),
+		summarizer: szr,
+	}, nil
+}
+
+// ID returns the monitor's identity.
+func (m *Monitor) ID() int { return m.id }
+
+// Ingest feeds one packet header through the monitor. When the header
+// seals a batch, the batch is summarized immediately and the summary is
+// queued for the next controller poll.
+func (m *Monitor) Ingest(h packet.Header) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.load++
+	batch, ok := m.buf.Add(h)
+	if !ok {
+		return nil
+	}
+	return m.summarizeLocked(batch)
+}
+
+// IngestBatch feeds many headers.
+func (m *Monitor) IngestBatch(hs []packet.Header) error {
+	for _, h := range hs {
+		if err := m.Ingest(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// summarizeLocked summarizes a sealed batch and retains its raw packets.
+// Callers hold m.mu.
+func (m *Monitor) summarizeLocked(batch *summary.Batch) error {
+	s, err := m.summarizer.Summarize(batch.Headers, m.id, batch.Epoch)
+	if err != nil {
+		return fmt.Errorf("monitor %d: %w", m.id, err)
+	}
+	m.buf.Retain(batch, s)
+	m.ready = append(m.ready, s)
+	return nil
+}
+
+// CollectSummaries returns and clears the queued summaries. When the
+// buffer holds at least MinBatch unsealed packets, they are flushed and
+// summarized too (the controller-initiated poll of §5.1); below MinBatch
+// the monitor declines to summarize the partial batch and reports the
+// pending count.
+func (m *Monitor) CollectSummaries() (ss []*summary.Summary, pending int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.buf.Pending() >= m.summarizer.Config().MinBatch && m.buf.Pending() > 0 {
+		batch := m.buf.Flush()
+		if err := m.summarizeLocked(batch); err != nil {
+			return nil, m.buf.Pending(), err
+		}
+	}
+	ss = m.ready
+	m.ready = nil
+	return ss, m.buf.Pending(), nil
+}
+
+// RawPackets serves the feedback loop: the raw headers assigned to the
+// given centroid in the given epoch, or nil after expiry.
+func (m *Monitor) RawPackets(epoch uint64, centroid int) []packet.Header {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.buf.RawPackets(epoch, centroid)
+}
+
+// FinerSummary re-summarizes a retained batch at a higher resolution —
+// the "finer granularity summaries" option of the feedback loop (§5.3),
+// cheaper than shipping raw packets when the controller only needs more
+// centroids, not exact bytes. It returns nil when the batch has expired
+// or k is not an improvement over the original summary.
+func (m *Monitor) FinerSummary(epoch uint64, k int) (*summary.Summary, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	headers := m.buf.RawBatch(epoch)
+	if headers == nil {
+		return nil, nil
+	}
+	cfg := m.summarizer.Config()
+	if k <= cfg.Centroids {
+		return nil, fmt.Errorf("monitor %d: finer summary needs k > %d, got %d", m.id, cfg.Centroids, k)
+	}
+	cfg.Centroids = k
+	cfg.BatchSize = len(headers)
+	cfg.MinBatch = 0
+	szr, err := summary.NewSummarizer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return szr.Summarize(headers, m.id, epoch)
+}
+
+// AdvanceEpoch rolls the monitor to the next epoch, expiring old raw
+// packet retention.
+func (m *Monitor) AdvanceEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.buf.AdvanceEpoch()
+}
+
+// LoadAndReset returns the packets ingested since the last call — the
+// load report the flow-assignment module polls every P seconds.
+func (m *Monitor) LoadAndReset() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.load
+	m.load = 0
+	return l
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flowassign"
+	"repro/internal/inference"
+	"repro/internal/packet"
+	"repro/internal/summary"
+)
+
+// Pipeline is the in-process deployment of Jaal used by experiments and
+// examples: M monitors, one controller, and a flow-assignment module
+// routing each flow to exactly one monitor in its monitor group.
+type Pipeline struct {
+	Monitors   []*Monitor
+	Controller *Controller
+	Assigner   *flowassign.Assigner
+
+	// flowToMonitor caches placements so subsequent packets of a flow
+	// go to the same monitor.
+	flowToMonitor map[packet.FlowKey]int
+	// monitorIndex maps monitor IDs to slice indices.
+	monitorIndex map[int]int
+}
+
+// PipelineConfig assembles a pipeline.
+type PipelineConfig struct {
+	// NumMonitors is M.
+	NumMonitors int
+	// Summary is each monitor's summarization config.
+	Summary summary.Config
+	// Controller configures the inference engine.
+	Controller ControllerConfig
+	// Groups optionally pre-defines flow groups. When nil, a single
+	// group containing every monitor is used (all flows can be seen by
+	// any monitor), which suits single-site experiments.
+	Groups *flowassign.GroupTable
+}
+
+// NewPipeline builds and wires the system.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.NumMonitors < 1 {
+		return nil, fmt.Errorf("core: need at least one monitor")
+	}
+	ctrl, err := NewController(cfg.Controller)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		Controller:    ctrl,
+		flowToMonitor: make(map[packet.FlowKey]int),
+		monitorIndex:  make(map[int]int),
+	}
+	var allIDs []flowassign.MonitorID
+	for i := 0; i < cfg.NumMonitors; i++ {
+		mcfg := cfg.Summary
+		mcfg.Seed = cfg.Summary.Seed + int64(i) // decorrelate k-means seeds
+		m, err := NewMonitor(i, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Monitors = append(p.Monitors, m)
+		p.monitorIndex[i] = i
+		ctrl.RegisterSource(i, m)
+		allIDs = append(allIDs, flowassign.MonitorID(i))
+	}
+	groups := cfg.Groups
+	if groups == nil {
+		groups = flowassign.NewGroupTable()
+		if err := groups.Define("all", allIDs); err != nil {
+			return nil, err
+		}
+	}
+	p.Assigner = flowassign.NewAssigner(flowassign.NewGreedy(), groups)
+	return p, nil
+}
+
+// groupOf maps a packet to its flow group. The default single-group
+// deployment uses "all"; topology-driven deployments override by
+// pre-defining groups keyed on prefix pairs.
+func (p *Pipeline) groupOf(h *packet.Header) flowassign.GroupKey {
+	if _, ok := p.Assigner.Table.MonitorGroup("all"); ok {
+		return "all"
+	}
+	g := h.PrefixGroup()
+	return flowassign.GroupKey(fmt.Sprintf("%d>%d", g.SrcPrefix, g.DstPrefix))
+}
+
+// Ingest routes one packet to its flow's monitor, assigning new flows
+// greedily (§6).
+func (p *Pipeline) Ingest(h packet.Header) error {
+	key := h.Flow()
+	idx, ok := p.flowToMonitor[key]
+	if !ok {
+		mid, err := p.Assigner.Assign(flowassign.FlowID(key.FastHash()), p.groupOf(&h), 1)
+		if err != nil {
+			return err
+		}
+		idx = p.monitorIndex[int(mid)]
+		p.flowToMonitor[key] = idx
+	}
+	return p.Monitors[idx].Ingest(h)
+}
+
+// IngestBatch routes many packets.
+func (p *Pipeline) IngestBatch(hs []packet.Header) error {
+	for _, h := range hs {
+		if err := p.Ingest(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunEpoch polls every monitor for summaries, advances their epochs, and
+// runs one inference round, returning the raised alerts. It is the
+// 2-second controller tick of §7 condensed into one call.
+func (p *Pipeline) RunEpoch() ([]*inference.Alert, error) {
+	var all []*summary.Summary
+	for _, m := range p.Monitors {
+		ss, _, err := m.CollectSummaries()
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ss...)
+	}
+	alerts, err := p.Controller.ProcessEpoch(all)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range p.Monitors {
+		m.AdvanceEpoch()
+	}
+	return alerts, nil
+}

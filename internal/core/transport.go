@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/summary"
+	"repro/internal/wire"
+)
+
+// MonitorServer exposes a Monitor over the wire protocol: it answers the
+// controller's load queries, summary polls and raw-batch requests on a
+// single long-lived connection (§7).
+type MonitorServer struct {
+	Monitor *Monitor
+}
+
+// Serve handles one controller connection until EOF or error. It sends
+// the hello, then answers requests synchronously.
+func (s *MonitorServer) Serve(conn net.Conn) error {
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHello(s.Monitor.ID())); err != nil {
+		return err
+	}
+	for {
+		msg, err := wire.ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if err := s.handle(conn, msg); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *MonitorServer) handle(conn net.Conn, msg *wire.Message) error {
+	switch msg.Type {
+	case wire.MsgLoadQuery:
+		load := float64(s.Monitor.LoadAndReset())
+		return wire.WriteFrame(conn, wire.MsgLoadReport, wire.EncodeLoadReport(s.Monitor.ID(), load))
+
+	case wire.MsgSummaryRequest:
+		epoch, err := wire.DecodeSummaryRequest(msg.Payload)
+		if err != nil {
+			return err
+		}
+		ss, pending, err := s.Monitor.CollectSummaries()
+		if err != nil && !errors.Is(err, summary.ErrBatchTooSmall) {
+			return err
+		}
+		if len(ss) == 0 {
+			return wire.WriteFrame(conn, wire.MsgSummaryDecline,
+				wire.EncodeSummaryDecline(s.Monitor.ID(), epoch, pending))
+		}
+		// Ship every queued summary, then an empty decline as the
+		// end-of-poll marker.
+		for _, sum := range ss {
+			data, err := sum.Marshal()
+			if err != nil {
+				return err
+			}
+			if err := wire.WriteFrame(conn, wire.MsgSummary, data); err != nil {
+				return err
+			}
+		}
+		if err := wire.WriteFrame(conn, wire.MsgSummaryDecline,
+			wire.EncodeSummaryDecline(s.Monitor.ID(), epoch, pending)); err != nil {
+			return err
+		}
+		s.Monitor.AdvanceEpoch()
+		return nil
+
+	case wire.MsgFinerRequest:
+		epoch, k, err := wire.DecodeFinerRequest(msg.Payload)
+		if err != nil {
+			return err
+		}
+		fs, err := s.Monitor.FinerSummary(epoch, k)
+		if err != nil || fs == nil {
+			return wire.WriteFrame(conn, wire.MsgSummaryDecline,
+				wire.EncodeSummaryDecline(s.Monitor.ID(), epoch, 0))
+		}
+		data, err := fs.Marshal()
+		if err != nil {
+			return err
+		}
+		return wire.WriteFrame(conn, wire.MsgSummary, data)
+
+	case wire.MsgRawRequest:
+		epoch, centroid, err := wire.DecodeRawRequest(msg.Payload)
+		if err != nil {
+			return err
+		}
+		hs := s.Monitor.RawPackets(epoch, centroid)
+		return wire.WriteFrame(conn, wire.MsgRawBatch, packet.EncodeBatch(hs))
+
+	default:
+		return fmt.Errorf("core: monitor got unexpected %v", msg.Type)
+	}
+}
+
+// RemoteMonitor is the controller-side handle to a monitor reached over
+// the wire protocol. It implements RawSource so the feedback loop can
+// fetch raw packets transparently.
+type RemoteMonitor struct {
+	id int
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialMonitor connects to a monitor server and completes the hello.
+func DialMonitor(conn net.Conn) (*RemoteMonitor, error) {
+	msg, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("core: hello: %w", err)
+	}
+	if msg.Type != wire.MsgHello {
+		return nil, fmt.Errorf("core: expected hello, got %v", msg.Type)
+	}
+	id, err := wire.DecodeHello(msg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteMonitor{id: id, conn: conn}, nil
+}
+
+// ID returns the remote monitor's identity.
+func (r *RemoteMonitor) ID() int { return r.id }
+
+// QueryLoad polls the monitor's load counter.
+func (r *RemoteMonitor) QueryLoad() (float64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := wire.WriteFrame(r.conn, wire.MsgLoadQuery, nil); err != nil {
+		return 0, err
+	}
+	msg, err := wire.ReadFrame(r.conn)
+	if err != nil {
+		return 0, err
+	}
+	if msg.Type != wire.MsgLoadReport {
+		return 0, fmt.Errorf("core: expected load report, got %v", msg.Type)
+	}
+	_, load, err := wire.DecodeLoadReport(msg.Payload)
+	return load, err
+}
+
+// PollSummaries asks the monitor for its queued summaries for the given
+// epoch. A declining monitor yields an empty slice.
+func (r *RemoteMonitor) PollSummaries(epoch uint64) ([]*summary.Summary, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := wire.WriteFrame(r.conn, wire.MsgSummaryRequest, wire.EncodeSummaryRequest(epoch)); err != nil {
+		return nil, err
+	}
+	var out []*summary.Summary
+	for {
+		msg, err := wire.ReadFrame(r.conn)
+		if err != nil {
+			return nil, err
+		}
+		switch msg.Type {
+		case wire.MsgSummary:
+			s, err := summary.Unmarshal(msg.Payload)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		case wire.MsgSummaryDecline:
+			return out, nil
+		default:
+			return nil, fmt.Errorf("core: expected summary, got %v", msg.Type)
+		}
+	}
+}
+
+// FinerSummary asks the remote monitor to re-summarize a retained batch
+// at higher resolution. A nil summary with nil error means the batch
+// expired or the request was declined.
+func (r *RemoteMonitor) FinerSummary(epoch uint64, k int) (*summary.Summary, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := wire.WriteFrame(r.conn, wire.MsgFinerRequest, wire.EncodeFinerRequest(epoch, k)); err != nil {
+		return nil, err
+	}
+	msg, err := wire.ReadFrame(r.conn)
+	if err != nil {
+		return nil, err
+	}
+	switch msg.Type {
+	case wire.MsgSummary:
+		return summary.Unmarshal(msg.Payload)
+	case wire.MsgSummaryDecline:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("core: expected finer summary, got %v", msg.Type)
+	}
+}
+
+// RawPackets implements RawSource over the wire. Errors surface as an
+// empty batch; the feedback loop treats missing raw data as
+// non-confirming, the safe default.
+func (r *RemoteMonitor) RawPackets(epoch uint64, centroid int) []packet.Header {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := wire.WriteFrame(r.conn, wire.MsgRawRequest, wire.EncodeRawRequest(epoch, centroid)); err != nil {
+		return nil
+	}
+	msg, err := wire.ReadFrame(r.conn)
+	if err != nil || msg.Type != wire.MsgRawBatch {
+		return nil
+	}
+	hs, err := packet.DecodeBatch(msg.Payload)
+	if err != nil {
+		return nil
+	}
+	return hs
+}
+
+// Close closes the underlying connection.
+func (r *RemoteMonitor) Close() error { return r.conn.Close() }

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rules"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"== demo ==", "a", "bb", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestROCCurveAUC(t *testing.T) {
+	perfect := ROCCurve{Points: []ROCPoint{{TPR: 1, FPR: 0}}}
+	if auc := perfect.AUC(); auc < 0.99 {
+		t.Fatalf("perfect classifier AUC = %v", auc)
+	}
+	diagonal := ROCCurve{Points: []ROCPoint{{TPR: 0.5, FPR: 0.5}}}
+	if auc := diagonal.AUC(); auc < 0.45 || auc > 0.55 {
+		t.Fatalf("random classifier AUC = %v", auc)
+	}
+}
+
+func TestROCCurveTPRAtFPR(t *testing.T) {
+	c := ROCCurve{Points: []ROCPoint{
+		{TPR: 0.5, FPR: 0.01}, {TPR: 0.9, FPR: 0.08}, {TPR: 0.99, FPR: 0.3},
+	}}
+	if got := c.TPRAtFPR(0.10); got != 0.9 {
+		t.Fatalf("TPR@10%% = %v, want 0.9", got)
+	}
+	if got := c.TPRAtFPR(0.001); got != 0 {
+		t.Fatalf("TPR@0.1%% = %v, want 0", got)
+	}
+}
+
+func TestTrialConfigValidate(t *testing.T) {
+	bad := TrialConfig{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero config must be invalid")
+	}
+}
+
+func TestTrialSetSeparatesAttackFromBackground(t *testing.T) {
+	ts, err := BuildTrialSet(TrialConfig{
+		Attack: rules.AttackDistributedSYNFlood, BatchSize: 600, Rank: 12,
+		Centroids: 120, Monitors: 2, BatchesPerTrial: 1, Trials: 4,
+		TraceSeed: 1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := ts.SweepROC("test", DefaultTauGrid())
+	if auc := curve.AUC(); auc < 0.8 {
+		t.Fatalf("distributed SYN flood AUC = %.3f, want ≥ 0.8", auc)
+	}
+}
+
+func TestFig10SpectrumShape(t *testing.T) {
+	s, tbl, err := Fig10Spectrum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 18 {
+		t.Fatalf("spectrum has %d values, want 18", len(s))
+	}
+	if len(tbl.Rows) != 18 {
+		t.Fatalf("table has %d rows", len(tbl.Rows))
+	}
+	// Paper shape: 90% energy within the top ~14 values.
+	var total, acc float64
+	for _, v := range s {
+		total += v * v
+	}
+	r90 := 0
+	for i, v := range s {
+		acc += v * v
+		if acc >= 0.9*total {
+			r90 = i + 1
+			break
+		}
+	}
+	if r90 > 14 {
+		t.Fatalf("90%% energy rank = %d, want ≤ 14", r90)
+	}
+}
+
+func TestFig8MiraiShape(t *testing.T) {
+	unchecked, protected, tbl, err := Fig8Mirai()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if protected.TotalInfected*2 >= unchecked.TotalInfected {
+		t.Fatalf("protection too weak: %d vs %d", protected.TotalInfected, unchecked.TotalInfected)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty Fig. 8 table")
+	}
+}
+
+func TestFig7ReplicationShape(t *testing.T) {
+	points, tbl, err := Fig7Replication(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The table carries one extra row: Jaal's own deduplicated 35 %
+	// operating point.
+	if len(points) < 3 || len(tbl.Rows) != len(points)+1 {
+		t.Fatalf("unexpected point count %d (rows %d)", len(points), len(tbl.Rows))
+	}
+	first, last := points[0], points[len(points)-1]
+	if last.AvgThroughputLoss <= first.AvgThroughputLoss {
+		t.Fatal("throughput loss must grow with replication")
+	}
+	if last.AvgThroughputLoss < 0.3 {
+		t.Fatalf("full replication throughput loss %.2f too mild", last.AvgThroughputLoss)
+	}
+	// Jaal's operating point (35% replication-equivalent) must be mild.
+	for _, p := range points {
+		if p.ReplicationFraction == 0.35 && p.AvgThroughputLoss > 0.25 {
+			t.Fatalf("35%% replication already loses %.2f throughput", p.AvgThroughputLoss)
+		}
+	}
+}
+
+func TestFig9FlowAssignShape(t *testing.T) {
+	loads, tbl, err := Fig9FlowAssign(1500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads.Greedy) != 25 || len(tbl.Rows) != 25 {
+		t.Fatalf("expected 25 monitors, got %d", len(loads.Greedy))
+	}
+	maxOf := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	gMax, rhMax, randMax := maxOf(loads.Greedy), maxOf(loads.RobinHood), maxOf(loads.Random)
+	// Greedy must be in the same league as Robin-Hood and beat random.
+	if gMax > rhMax*1.6 {
+		t.Fatalf("greedy max load %.2f too far above Robin-Hood %.2f", gMax, rhMax)
+	}
+	if gMax >= randMax {
+		t.Fatalf("greedy max load %.2f must beat random %.2f", gMax, randMax)
+	}
+}
+
+func TestFig11CompressionShape(t *testing.T) {
+	points, tbl, err := Fig11Compression()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(points) {
+		t.Fatal("table/points mismatch")
+	}
+	// Compression at ε=10% must be at least as good as at ε=5% for the
+	// same n, and large batches must compress at least as well as small.
+	byKey := map[[2]int]float64{}
+	for _, p := range points {
+		byKey[[2]int{p.BatchSize, int(p.Epsilon * 100)}] = p.Compression
+	}
+	if byKey[[2]int{2000, 10}] < byKey[[2]int{2000, 5}]-1e-9 {
+		t.Fatal("looser error budget must not reduce compression")
+	}
+	if byKey[[2]int{2000, 5}] < byKey[[2]int{500, 5}]-1e-9 {
+		t.Fatal("larger batches must compress at least as well")
+	}
+	// Paper target: η ≈ 85% at n=2000, ε=5%. Accept ≥ 70%.
+	if byKey[[2]int{2000, 5}] < 0.70 {
+		t.Fatalf("compression at n=2000, ε=5%% is only %.2f", byKey[[2]int{2000, 5}])
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows, tbl, err := Table1Reservoir(Scale{Trials: 2, BatchesPerTrial: 1, Monitors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(EvaluatedAttacks) || len(tbl.Rows) != len(rows) {
+		t.Fatalf("row count %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.JaalAccuracy < r.ReservoirAccuracy {
+			t.Fatalf("%s: Jaal %.2f must not lose to reservoir %.2f",
+				r.Attack, r.JaalAccuracy, r.ReservoirAccuracy)
+		}
+	}
+}
+
+func TestVarianceEstimationTable(t *testing.T) {
+	tbl, err := VarianceEstimation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty variance table")
+	}
+}

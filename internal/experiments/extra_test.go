@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+func TestMonitorCoverageShape(t *testing.T) {
+	points, tbl, err := MonitorCoverage(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 || len(tbl.Rows) != 10 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Coverage must be non-decreasing in monitor count per topology and
+	// near-complete at 25 monitors.
+	for topo := 0; topo < 2; topo++ {
+		base := topo * 5
+		for i := 1; i < 5; i++ {
+			if points[base+i].Coverage < points[base+i-1].Coverage-1e-9 {
+				t.Fatalf("coverage must grow with monitors: %+v", points)
+			}
+		}
+		if points[base+3].Monitors != 25 || points[base+3].Coverage < 0.85 {
+			t.Fatalf("25 monitors must cover ≥85%%: %+v", points[base+3])
+		}
+	}
+}
+
+func TestSketchCostTable(t *testing.T) {
+	tbl, err := SketchCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestBatchSizeSweepShape(t *testing.T) {
+	points, tbl, err := BatchSizeSweep(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 || len(tbl.Rows) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Large batches must detect at least as well as tiny ones.
+	if points[len(points)-1].Detection < points[0].Detection {
+		t.Fatalf("detection must not degrade with batch size: %+v", points)
+	}
+	if points[len(points)-1].Detection < 0.75 {
+		t.Fatalf("n=2000 detection %.2f too low", points[len(points)-1].Detection)
+	}
+}

@@ -1,0 +1,325 @@
+// Package flowassign implements Jaal's flow assignment module (§6): the
+// online assignment of flows to monitors such that every flow is watched
+// by exactly one monitor on its path and the maximum monitor load is
+// minimized.
+//
+// Three strategies are provided:
+//
+//   - Greedy assigns each incoming flow to the least-loaded monitor in
+//     its monitor group. It needs no knowledge of flow weights and is the
+//     strategy Jaal deploys; its competitive ratio is (3M)^(2/3)/2·(1+o(1))
+//     (Azar, Broder & Karlin 1994).
+//   - RobinHood is the optimal O(√M)-competitive algorithm for temporary
+//     tasks with assignment restrictions (Azar et al. 1997). It requires
+//     flow weights up front, which is impractical online; the paper uses
+//     it as the ideal baseline of Fig. 9.
+//   - Random assigns uniformly within the monitor group, the weak
+//     baseline of Fig. 9.
+package flowassign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// MonitorID identifies a monitor.
+type MonitorID int
+
+// FlowID identifies a flow (or flow group member).
+type FlowID uint64
+
+// Assignment records where a flow was placed.
+type Assignment struct {
+	Flow    FlowID
+	Monitor MonitorID
+	Weight  float64
+}
+
+// Strategy is an online flow-assignment policy. Implementations must be
+// deterministic given their construction parameters (Random takes a
+// seeded RNG).
+type Strategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Assign places a flow whose candidate monitors are group. The
+	// weight is the flow's packet rate; strategies that cannot know it
+	// online (Greedy, Random) must ignore it at decision time but may
+	// use it for bookkeeping after placement. Assign reports an error
+	// when group is empty.
+	Assign(flow FlowID, group []MonitorID, weight float64) (MonitorID, error)
+	// Remove retires a flow when it terminates, releasing its load.
+	Remove(flow FlowID) error
+	// Load returns the current load of a monitor.
+	Load(m MonitorID) float64
+}
+
+// tracker is shared load bookkeeping.
+type tracker struct {
+	load  map[MonitorID]float64
+	flows map[FlowID]Assignment
+}
+
+func newTracker() tracker {
+	return tracker{load: make(map[MonitorID]float64), flows: make(map[FlowID]Assignment)}
+}
+
+func (t *tracker) place(f FlowID, m MonitorID, w float64) {
+	t.load[m] += w
+	t.flows[f] = Assignment{Flow: f, Monitor: m, Weight: w}
+}
+
+func (t *tracker) remove(f FlowID) error {
+	a, ok := t.flows[f]
+	if !ok {
+		return fmt.Errorf("flowassign: unknown flow %d", f)
+	}
+	t.load[a.Monitor] -= a.Weight
+	if t.load[a.Monitor] < 1e-12 {
+		t.load[a.Monitor] = 0
+	}
+	delete(t.flows, f)
+	return nil
+}
+
+func (t *tracker) assignmentOf(f FlowID) (Assignment, bool) {
+	a, ok := t.flows[f]
+	return a, ok
+}
+
+// Greedy is Jaal's deployed strategy: least-loaded monitor in the group.
+type Greedy struct {
+	t tracker
+}
+
+// NewGreedy returns a Greedy strategy.
+func NewGreedy() *Greedy { return &Greedy{t: newTracker()} }
+
+// Name implements Strategy.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Assign implements Strategy. Ties break on the lower monitor ID so runs
+// are reproducible.
+func (g *Greedy) Assign(flow FlowID, group []MonitorID, weight float64) (MonitorID, error) {
+	if len(group) == 0 {
+		return 0, fmt.Errorf("flowassign: empty monitor group for flow %d", flow)
+	}
+	best := group[0]
+	bestLoad := g.t.load[best]
+	for _, m := range group[1:] {
+		if l := g.t.load[m]; l < bestLoad || (l == bestLoad && m < best) {
+			best, bestLoad = m, l
+		}
+	}
+	g.t.place(flow, best, weight)
+	return best, nil
+}
+
+// Remove implements Strategy.
+func (g *Greedy) Remove(flow FlowID) error { return g.t.remove(flow) }
+
+// Load implements Strategy.
+func (g *Greedy) Load(m MonitorID) float64 { return g.t.load[m] }
+
+// AssignmentOf returns the current placement of a flow.
+func (g *Greedy) AssignmentOf(f FlowID) (Assignment, bool) { return g.t.assignmentOf(f) }
+
+// SnapshotGreedy is the deployed variant of Greedy: decisions use a load
+// snapshot refreshed only when Refresh is called, modeling the P = 2 s
+// load polling of §7 ("the flow assignment module polls monitors for
+// load updates every P = 2 seconds"). Between refreshes the controller
+// places flows against stale loads, which is what separates the deployed
+// greedy from the instantaneous Robin-Hood baseline in Fig. 9.
+type SnapshotGreedy struct {
+	t        tracker
+	snapshot map[MonitorID]float64
+}
+
+// NewSnapshotGreedy returns a SnapshotGreedy with an empty snapshot.
+func NewSnapshotGreedy() *SnapshotGreedy {
+	return &SnapshotGreedy{t: newTracker(), snapshot: make(map[MonitorID]float64)}
+}
+
+// Name implements Strategy.
+func (g *SnapshotGreedy) Name() string { return "greedy(P)" }
+
+// Refresh updates the decision snapshot to the current true loads — the
+// periodic load poll.
+func (g *SnapshotGreedy) Refresh() {
+	clear(g.snapshot)
+	for m, l := range g.t.load {
+		g.snapshot[m] = l
+	}
+}
+
+// Assign implements Strategy, deciding on the stale snapshot.
+func (g *SnapshotGreedy) Assign(flow FlowID, group []MonitorID, weight float64) (MonitorID, error) {
+	if len(group) == 0 {
+		return 0, fmt.Errorf("flowassign: empty monitor group for flow %d", flow)
+	}
+	best := group[0]
+	bestLoad := g.snapshot[best]
+	for _, m := range group[1:] {
+		if l := g.snapshot[m]; l < bestLoad || (l == bestLoad && m < best) {
+			best, bestLoad = m, l
+		}
+	}
+	g.t.place(flow, best, weight)
+	return best, nil
+}
+
+// Remove implements Strategy.
+func (g *SnapshotGreedy) Remove(flow FlowID) error { return g.t.remove(flow) }
+
+// Load implements Strategy (true current load, as a monitor would report).
+func (g *SnapshotGreedy) Load(m MonitorID) float64 { return g.t.load[m] }
+
+// Random places flows uniformly at random within the group.
+type Random struct {
+	t   tracker
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random strategy driven by rng.
+func NewRandom(rng *rand.Rand) *Random { return &Random{t: newTracker(), rng: rng} }
+
+// Name implements Strategy.
+func (r *Random) Name() string { return "random" }
+
+// Assign implements Strategy.
+func (r *Random) Assign(flow FlowID, group []MonitorID, weight float64) (MonitorID, error) {
+	if len(group) == 0 {
+		return 0, fmt.Errorf("flowassign: empty monitor group for flow %d", flow)
+	}
+	m := group[r.rng.Intn(len(group))]
+	r.t.place(flow, m, weight)
+	return m, nil
+}
+
+// Remove implements Strategy.
+func (r *Random) Remove(flow FlowID) error { return r.t.remove(flow) }
+
+// Load implements Strategy.
+func (r *Random) Load(m MonitorID) float64 { return r.t.load[m] }
+
+// RobinHood implements the Robin-Hood algorithm for online load balancing
+// of temporary tasks with assignment restrictions (Azar, Kalyanasundaram,
+// Plotkin, Pruhs & Waarts, J. Algorithms 1997). It maintains an estimate
+// L of the optimal offline maximum load; a monitor is "rich" if its load
+// is ≥ √M·L and "poor" otherwise. Jobs go to a poor monitor in their
+// group when one exists; otherwise to the rich monitor that became rich
+// most recently. The estimate doubles when no placement can respect it.
+// The algorithm is O(√M)-competitive, the lower bound for this problem.
+type RobinHood struct {
+	t        tracker
+	m        int     // number of monitors in the system
+	estimate float64 // current lower-bound estimate L of OPT
+	// richSince records when each monitor last crossed the rich
+	// threshold; richer-later wins ties per the algorithm.
+	richSince map[MonitorID]int
+	clock     int
+}
+
+// NewRobinHood returns a RobinHood strategy for a system of m monitors.
+func NewRobinHood(m int) *RobinHood {
+	if m < 1 {
+		panic("flowassign: RobinHood needs at least one monitor")
+	}
+	return &RobinHood{t: newTracker(), m: m, richSince: make(map[MonitorID]int)}
+}
+
+// Name implements Strategy.
+func (r *RobinHood) Name() string { return "robinhood" }
+
+// threshold is √M·L, the rich/poor boundary.
+func (r *RobinHood) threshold() float64 { return math.Sqrt(float64(r.m)) * r.estimate }
+
+// Assign implements Strategy. Unlike Greedy it uses the true weight when
+// deciding, which is exactly the information advantage the paper grants
+// the baseline ("the weights for Robin Hood are given", §8.2).
+func (r *RobinHood) Assign(flow FlowID, group []MonitorID, weight float64) (MonitorID, error) {
+	if len(group) == 0 {
+		return 0, fmt.Errorf("flowassign: empty monitor group for flow %d", flow)
+	}
+	r.clock++
+
+	// Maintain the OPT estimate: it can never be less than the weight
+	// of any single job, nor less than (total load)/M.
+	var total float64
+	for _, l := range r.t.load {
+		total += l
+	}
+	lower := math.Max(weight, (total+weight)/float64(r.m))
+	for r.estimate < lower {
+		if r.estimate == 0 {
+			r.estimate = lower
+		} else {
+			r.estimate *= 2
+		}
+		// On re-estimate every monitor is reconsidered poor.
+		r.richSince = make(map[MonitorID]int)
+	}
+
+	thr := r.threshold()
+	// Prefer the least-loaded poor monitor.
+	var poor []MonitorID
+	for _, m := range group {
+		if r.t.load[m] < thr {
+			poor = append(poor, m)
+		}
+	}
+	var chosen MonitorID
+	if len(poor) > 0 {
+		chosen = poor[0]
+		for _, m := range poor[1:] {
+			if r.t.load[m] < r.t.load[chosen] || (r.t.load[m] == r.t.load[chosen] && m < chosen) {
+				chosen = m
+			}
+		}
+	} else {
+		// All rich: pick the one that became rich most recently.
+		chosen = group[0]
+		best := -1
+		for _, m := range group {
+			if since, ok := r.richSince[m]; ok && since > best {
+				best, chosen = since, m
+			}
+		}
+	}
+
+	before := r.t.load[chosen]
+	r.t.place(flow, chosen, weight)
+	if before < thr && r.t.load[chosen] >= thr {
+		r.richSince[chosen] = r.clock
+	}
+	return chosen, nil
+}
+
+// Remove implements Strategy.
+func (r *RobinHood) Remove(flow FlowID) error { return r.t.remove(flow) }
+
+// Load implements Strategy.
+func (r *RobinHood) Load(m MonitorID) float64 { return r.t.load[m] }
+
+// MaxLoad returns the maximum load over monitors for any strategy,
+// given the monitor universe.
+func MaxLoad(s Strategy, monitors []MonitorID) float64 {
+	var mx float64
+	for _, m := range monitors {
+		if l := s.Load(m); l > mx {
+			mx = l
+		}
+	}
+	return mx
+}
+
+// SortedLoads returns the loads of the given monitors in descending order.
+func SortedLoads(s Strategy, monitors []MonitorID) []float64 {
+	out := make([]float64, len(monitors))
+	for i, m := range monitors {
+		out[i] = s.Load(m)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

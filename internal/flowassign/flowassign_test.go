@@ -1,0 +1,413 @@
+package flowassign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func monitors(n int) []MonitorID {
+	out := make([]MonitorID, n)
+	for i := range out {
+		out[i] = MonitorID(i)
+	}
+	return out
+}
+
+func TestGreedyBalancesUnitFlows(t *testing.T) {
+	g := NewGreedy()
+	all := monitors(4)
+	for f := 0; f < 100; f++ {
+		if _, err := g.Assign(FlowID(f), all, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range all {
+		if g.Load(m) != 25 {
+			t.Fatalf("monitor %d load %v, want 25", m, g.Load(m))
+		}
+	}
+}
+
+func TestGreedyRespectsGroups(t *testing.T) {
+	g := NewGreedy()
+	group := []MonitorID{2, 5}
+	for f := 0; f < 10; f++ {
+		m, err := g.Assign(FlowID(f), group, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != 2 && m != 5 {
+			t.Fatalf("flow assigned outside group: %d", m)
+		}
+	}
+	if g.Load(2)+g.Load(5) != 10 {
+		t.Fatalf("group loads = %v + %v, want 10", g.Load(2), g.Load(5))
+	}
+}
+
+func TestGreedyEmptyGroup(t *testing.T) {
+	if _, err := NewGreedy().Assign(1, nil, 1); err == nil {
+		t.Fatal("expected error for empty group")
+	}
+}
+
+func TestGreedyRemoveReleasesLoad(t *testing.T) {
+	g := NewGreedy()
+	if _, err := g.Assign(1, []MonitorID{0}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.Load(0) != 3 {
+		t.Fatalf("load = %v, want 3", g.Load(0))
+	}
+	if err := g.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Load(0) != 0 {
+		t.Fatalf("load after remove = %v, want 0", g.Load(0))
+	}
+	if err := g.Remove(1); err == nil {
+		t.Fatal("removing an unknown flow must fail")
+	}
+}
+
+func TestGreedyAssignmentOf(t *testing.T) {
+	g := NewGreedy()
+	if _, err := g.Assign(7, []MonitorID{3}, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := g.AssignmentOf(7)
+	if !ok || a.Monitor != 3 || a.Weight != 2.5 {
+		t.Fatalf("assignment = %+v, %v", a, ok)
+	}
+	if _, ok := g.AssignmentOf(8); ok {
+		t.Fatal("unknown flow must not resolve")
+	}
+}
+
+func TestGreedyDeterministicTieBreak(t *testing.T) {
+	g := NewGreedy()
+	m, err := g.Assign(1, []MonitorID{5, 2, 9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2 {
+		t.Fatalf("tie broke to %d, want lowest ID 2", m)
+	}
+}
+
+func TestRandomStaysInGroup(t *testing.T) {
+	r := NewRandom(rand.New(rand.NewSource(1)))
+	group := []MonitorID{1, 3}
+	for f := 0; f < 50; f++ {
+		m, err := r.Assign(FlowID(f), group, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != 1 && m != 3 {
+			t.Fatalf("random assigned outside group: %d", m)
+		}
+	}
+	if r.Load(1)+r.Load(3) != 50 {
+		t.Fatal("loads must total 50")
+	}
+	if _, err := r.Assign(99, nil, 1); err == nil {
+		t.Fatal("expected error for empty group")
+	}
+}
+
+func TestRobinHoodBasic(t *testing.T) {
+	rh := NewRobinHood(4)
+	all := monitors(4)
+	for f := 0; f < 100; f++ {
+		m, err := rh.Assign(FlowID(f), all, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = m
+	}
+	// With unit weights and full groups, Robin Hood should spread load
+	// within a factor ~√M of perfect balance.
+	maxL := MaxLoad(rh, all)
+	if maxL > 25*math.Sqrt(4) {
+		t.Fatalf("max load %v exceeds √M bound", maxL)
+	}
+	var total float64
+	for _, m := range all {
+		total += rh.Load(m)
+	}
+	if total != 100 {
+		t.Fatalf("total load %v, want 100", total)
+	}
+}
+
+func TestRobinHoodRemove(t *testing.T) {
+	rh := NewRobinHood(2)
+	if _, err := rh.Assign(1, []MonitorID{0, 1}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := rh.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if rh.Load(0)+rh.Load(1) != 0 {
+		t.Fatal("load must be released on remove")
+	}
+}
+
+func TestRobinHoodEmptyGroup(t *testing.T) {
+	if _, err := NewRobinHood(3).Assign(1, nil, 1); err == nil {
+		t.Fatal("expected error for empty group")
+	}
+}
+
+func TestRobinHoodPanicsOnZeroMonitors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRobinHood(0)
+}
+
+// With restricted groups and heavy flows, greedy (weight-blind) can be
+// beaten by Robin Hood (weight-aware); this test only asserts both remain
+// within their theoretical competitive bounds against a simple optimum.
+func TestCompetitiveBoundsOnRestrictedGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const M = 9
+	all := monitors(M)
+	groups := make([][]MonitorID, 12)
+	for i := range groups {
+		// Random group of 2–4 monitors.
+		n := 2 + rng.Intn(3)
+		perm := rng.Perm(M)
+		g := make([]MonitorID, n)
+		for j := 0; j < n; j++ {
+			g[j] = all[perm[j]]
+		}
+		groups[i] = g
+	}
+
+	greedy := NewGreedy()
+	rh := NewRobinHood(M)
+	var totalWeight float64
+	for f := 0; f < 400; f++ {
+		g := groups[rng.Intn(len(groups))]
+		w := 1 + rng.Float64()*4
+		totalWeight += w
+		if _, err := greedy.Assign(FlowID(f), g, w); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rh.Assign(FlowID(f), g, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A loose lower bound for OPT: total/M.
+	opt := totalWeight / M
+	gMax, rMax := MaxLoad(greedy, all), MaxLoad(rh, all)
+	gBound := opt * math.Pow(3*M, 2.0/3.0) // (3M)^(2/3)/2·(1+o(1)); use ×2 slack
+	rBound := opt * 2 * math.Sqrt(M)
+	if gMax > gBound {
+		t.Fatalf("greedy max load %v exceeds bound %v", gMax, gBound)
+	}
+	if rMax > rBound {
+		t.Fatalf("robin hood max load %v exceeds bound %v", rMax, rBound)
+	}
+}
+
+func TestSortedLoads(t *testing.T) {
+	g := NewGreedy()
+	g.Assign(1, []MonitorID{0}, 3)
+	g.Assign(2, []MonitorID{1}, 7)
+	g.Assign(3, []MonitorID{2}, 5)
+	loads := SortedLoads(g, monitors(3))
+	if loads[0] != 7 || loads[1] != 5 || loads[2] != 3 {
+		t.Fatalf("sorted loads = %v", loads)
+	}
+}
+
+func TestGroupTable(t *testing.T) {
+	tab := NewGroupTable()
+	if err := tab.Define("a>b", []MonitorID{3, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	g, ok := tab.MonitorGroup("a>b")
+	if !ok || len(g) != 2 || g[0] != 1 || g[1] != 3 {
+		t.Fatalf("group = %v, %v (want deduped sorted [1 3])", g, ok)
+	}
+	if _, ok := tab.MonitorGroup("nope"); ok {
+		t.Fatal("unknown group must not resolve")
+	}
+	if err := tab.Define("empty", nil); err == nil {
+		t.Fatal("empty monitor group must be rejected")
+	}
+	if err := tab.Define("b>c", []MonitorID{2}); err != nil {
+		t.Fatal(err)
+	}
+	keys := tab.Keys()
+	if len(keys) != 2 || keys[0] != "a>b" || keys[1] != "b>c" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+}
+
+func TestAssigner(t *testing.T) {
+	tab := NewGroupTable()
+	tab.Define("g", []MonitorID{0, 1})
+	a := NewAssigner(NewGreedy(), tab)
+	m, err := a.Assign(1, "g", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0 && m != 1 {
+		t.Fatalf("assigned to %d", m)
+	}
+	if _, err := a.Assign(2, "missing", 1); err == nil {
+		t.Fatal("unknown group must error")
+	}
+	if err := a.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any arrival/departure sequence, greedy's accounted total
+// load equals the sum of live flow weights.
+func TestGreedyConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGreedy()
+		all := monitors(1 + rng.Intn(8))
+		live := map[FlowID]float64{}
+		next := FlowID(0)
+		for step := 0; step < 200; step++ {
+			if len(live) > 0 && rng.Float64() < 0.4 {
+				for f := range live {
+					if err := g.Remove(f); err != nil {
+						return false
+					}
+					delete(live, f)
+					break
+				}
+			} else {
+				w := rng.Float64() * 3
+				if _, err := g.Assign(next, all, w); err != nil {
+					return false
+				}
+				live[next] = w
+				next++
+			}
+		}
+		var want float64
+		for _, w := range live {
+			want += w
+		}
+		var got float64
+		for _, m := range all {
+			got += g.Load(m)
+		}
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: greedy never assigns to a monitor when a strictly less-loaded
+// monitor exists in the group at decision time.
+func TestGreedyLeastLoadedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGreedy()
+		all := monitors(2 + rng.Intn(6))
+		for f := 0; f < 100; f++ {
+			loads := make(map[MonitorID]float64)
+			for _, m := range all {
+				loads[m] = g.Load(m)
+			}
+			chosen, err := g.Assign(FlowID(f), all, rng.Float64())
+			if err != nil {
+				return false
+			}
+			for _, m := range all {
+				if loads[m] < loads[chosen] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotGreedyStaleDecisions(t *testing.T) {
+	g := NewSnapshotGreedy()
+	group := []MonitorID{0, 1}
+	// Without a refresh, the snapshot shows all-zero loads: ties break
+	// to the lowest ID every time, piling flows onto monitor 0.
+	for f := 0; f < 10; f++ {
+		m, err := g.Assign(FlowID(f), group, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != 0 {
+			t.Fatalf("stale snapshot must keep choosing monitor 0, got %d", m)
+		}
+	}
+	if g.Load(0) != 10 || g.Load(1) != 0 {
+		t.Fatalf("true loads = %v/%v", g.Load(0), g.Load(1))
+	}
+	// After a refresh the snapshot sees the imbalance and switches.
+	g.Refresh()
+	m, err := g.Assign(100, group, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1 {
+		t.Fatalf("refreshed snapshot must pick the idle monitor, got %d", m)
+	}
+}
+
+func TestSnapshotGreedyRemove(t *testing.T) {
+	g := NewSnapshotGreedy()
+	if _, err := g.Assign(1, []MonitorID{0}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Load(0) != 0 {
+		t.Fatalf("load after remove = %v", g.Load(0))
+	}
+	if _, err := g.Assign(2, nil, 1); err == nil {
+		t.Fatal("empty group must error")
+	}
+	if g.Name() != "greedy(P)" {
+		t.Fatalf("name = %q", g.Name())
+	}
+}
+
+// With frequent refreshes, SnapshotGreedy converges to plain Greedy.
+func TestSnapshotGreedyConvergesToGreedy(t *testing.T) {
+	snap := NewSnapshotGreedy()
+	plain := NewGreedy()
+	all := monitors(5)
+	for f := 0; f < 200; f++ {
+		snap.Refresh() // refresh before every decision = fresh loads
+		ms, err := snap.Assign(FlowID(f), all, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := plain.Assign(FlowID(f), all, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms != mp {
+			t.Fatalf("flow %d: snapshot chose %d, plain chose %d", f, ms, mp)
+		}
+	}
+}

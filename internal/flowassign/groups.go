@@ -1,0 +1,88 @@
+package flowassign
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupKey identifies a flow group: the set of flows that traverse the
+// same set of monitors (§6). With shortest-path routing the key is just
+// the (source prefix, destination prefix) pair of §7, but any string key
+// works.
+type GroupKey string
+
+// GroupTable maps flow groups to their monitor groups — the subset of
+// monitors on the group's path. A monitor can belong to many groups.
+type GroupTable struct {
+	groups map[GroupKey][]MonitorID
+}
+
+// NewGroupTable returns an empty table.
+func NewGroupTable() *GroupTable {
+	return &GroupTable{groups: make(map[GroupKey][]MonitorID)}
+}
+
+// Define binds a flow group to its monitor group. The monitor list is
+// copied, deduplicated, and sorted for deterministic iteration.
+func (t *GroupTable) Define(key GroupKey, monitors []MonitorID) error {
+	if len(monitors) == 0 {
+		return fmt.Errorf("flowassign: group %q has no monitors", key)
+	}
+	seen := make(map[MonitorID]bool, len(monitors))
+	var list []MonitorID
+	for _, m := range monitors {
+		if !seen[m] {
+			seen[m] = true
+			list = append(list, m)
+		}
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	t.groups[key] = list
+	return nil
+}
+
+// MonitorGroup returns the monitor group of a flow group.
+func (t *GroupTable) MonitorGroup(key GroupKey) ([]MonitorID, bool) {
+	g, ok := t.groups[key]
+	return g, ok
+}
+
+// Keys returns all group keys in sorted order.
+func (t *GroupTable) Keys() []GroupKey {
+	out := make([]GroupKey, 0, len(t.groups))
+	for k := range t.groups {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of defined groups.
+func (t *GroupTable) Len() int { return len(t.groups) }
+
+// Assigner wires a Strategy to a GroupTable and resolves flow groups to
+// monitor groups at assignment time. In the deployed system the
+// controller refreshes monitor loads every P = 2 s (§7); the experiment
+// harness models that cadence by batching assignments between load
+// observations, so Assigner itself stays synchronous.
+type Assigner struct {
+	Strategy Strategy
+	Table    *GroupTable
+}
+
+// NewAssigner couples a strategy and a table.
+func NewAssigner(s Strategy, t *GroupTable) *Assigner {
+	return &Assigner{Strategy: s, Table: t}
+}
+
+// Assign places a flow belonging to group key.
+func (a *Assigner) Assign(flow FlowID, key GroupKey, weight float64) (MonitorID, error) {
+	group, ok := a.Table.MonitorGroup(key)
+	if !ok {
+		return 0, fmt.Errorf("flowassign: unknown flow group %q", key)
+	}
+	return a.Strategy.Assign(flow, group, weight)
+}
+
+// Remove retires a flow.
+func (a *Assigner) Remove(flow FlowID) error { return a.Strategy.Remove(flow) }

@@ -1,0 +1,113 @@
+// Package inference implements Jaal's centralized analysis and inference
+// module (§5): aggregation of per-monitor summaries into a global view,
+// the similarity estimator of Algorithm 1, the variance postprocessor of
+// Algorithm 2, and the two-threshold feedback loop of §5.3.
+package inference
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/packet"
+	"repro/internal/summary"
+)
+
+// CentroidRef identifies one row of an aggregated summary back to its
+// originating monitor, epoch and centroid index. The feedback loop uses
+// refs to ask the right monitor for the raw packets behind an uncertain
+// centroid.
+type CentroidRef struct {
+	MonitorID int
+	Epoch     uint64
+	Centroid  int
+}
+
+// Aggregate is S^a: the global view assembled from all monitors'
+// summaries for one inference round (§5.1). Representatives is the tall
+// matrix X̃_a (at most M·k rows); Counts is c_a; Refs maps each row back
+// to its origin.
+type Aggregate struct {
+	Representatives *linalg.Matrix
+	Counts          []int
+	Refs            []CentroidRef
+	// TotalPackets is the number of raw packets the aggregate stands
+	// for: Σ counts.
+	TotalPackets int
+	// Elements is the total communication cost, in float64 elements, of
+	// the summaries that were aggregated.
+	Elements int
+}
+
+// Rows returns the number of representative packets in the aggregate.
+func (a *Aggregate) Rows() int {
+	if a.Representatives == nil {
+		return 0
+	}
+	return a.Representatives.Rows()
+}
+
+// Aggregator accumulates summaries for one round.
+type Aggregator struct {
+	reps   [][]float64
+	counts []int
+	refs   []CentroidRef
+	elems  int
+}
+
+// NewAggregator returns an empty Aggregator.
+func NewAggregator() *Aggregator { return &Aggregator{} }
+
+// Add appends one monitor summary. Split summaries are first
+// reconstructed into full-width representatives (§5.1).
+func (g *Aggregator) Add(s *summary.Summary) error {
+	reps, err := s.Representatives()
+	if err != nil {
+		return fmt.Errorf("inference: aggregate: %w", err)
+	}
+	if reps.Cols() != packet.NumFields {
+		return fmt.Errorf("inference: summary has %d fields, want %d", reps.Cols(), packet.NumFields)
+	}
+	if len(s.Counts) != reps.Rows() {
+		return fmt.Errorf("inference: %d counts for %d representatives", len(s.Counts), reps.Rows())
+	}
+	for i := 0; i < reps.Rows(); i++ {
+		row := make([]float64, packet.NumFields)
+		copy(row, reps.Row(i))
+		g.reps = append(g.reps, row)
+		g.counts = append(g.counts, s.Counts[i])
+		g.refs = append(g.refs, CentroidRef{MonitorID: s.MonitorID, Epoch: s.Epoch, Centroid: i})
+	}
+	g.elems += s.Elements()
+	return nil
+}
+
+// Build finalizes the round into an Aggregate. An empty aggregator yields
+// an Aggregate with zero rows.
+func (g *Aggregator) Build() (*Aggregate, error) {
+	agg := &Aggregate{Counts: g.counts, Refs: g.refs, Elements: g.elems}
+	if len(g.reps) == 0 {
+		agg.Representatives = linalg.NewMatrix(0, packet.NumFields)
+		return agg, nil
+	}
+	m, err := linalg.NewMatrixFromRows(g.reps)
+	if err != nil {
+		return nil, err
+	}
+	agg.Representatives = m
+	for _, c := range g.counts {
+		agg.TotalPackets += c
+	}
+	return agg, nil
+}
+
+// AggregateSummaries is a convenience that aggregates a slice of
+// summaries in one call.
+func AggregateSummaries(ss []*summary.Summary) (*Aggregate, error) {
+	g := NewAggregator()
+	for _, s := range ss {
+		if err := g.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	return g.Build()
+}

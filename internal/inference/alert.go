@@ -1,0 +1,67 @@
+package inference
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rules"
+)
+
+// Alert is an issued intrusion alert.
+type Alert struct {
+	// Attack identifies the matched attack/rule.
+	Attack rules.AttackID
+	// SID is the Snort rule ID that fired.
+	SID int
+	// Msg is the rule's message.
+	Msg string
+	// Epoch is the inference round that produced the alert.
+	Epoch uint64
+	// Time is the wall-clock issue time.
+	Time time.Time
+	// MatchedPackets is the estimated number of packets behind the
+	// alert (Σ c_i over matching centroids).
+	MatchedPackets int
+	// Distributed reports whether the postprocessor classified the
+	// attack as distributed (variance over threshold).
+	Distributed bool
+	// Variance is the measured postprocessor variance, when applicable.
+	Variance float64
+	// ViaFeedback reports whether the alert needed the raw-packet
+	// feedback path (case 3 of §5.3).
+	ViaFeedback bool
+}
+
+// String renders the alert as a log line.
+func (a *Alert) String() string {
+	return fmt.Sprintf("[epoch %d] ALERT %s sid=%d matched=%d distributed=%v msg=%q",
+		a.Epoch, a.Attack, a.SID, a.MatchedPackets, a.Distributed, a.Msg)
+}
+
+// NewAlertFromMatch builds an alert from a plain (single-threshold)
+// match result.
+func NewAlertFromMatch(id rules.AttackID, epoch uint64, m *MatchResult) *Alert {
+	a := &Alert{
+		Attack:         id,
+		Epoch:          epoch,
+		Time:           time.Now(),
+		MatchedPackets: m.MatchedCount,
+		Variance:       m.Variance,
+	}
+	if m.Question != nil && m.Question.Rule != nil {
+		a.SID = m.Question.Rule.SID
+		a.Msg = m.Question.Rule.Msg
+	}
+	if m.Question != nil && m.Question.Variance != nil {
+		a.Distributed = m.VariancePassed
+	}
+	return a
+}
+
+// NewAlertFromFeedback builds an alert from a feedback-loop result.
+func NewAlertFromFeedback(id rules.AttackID, epoch uint64, r *FeedbackResult) *Alert {
+	a := NewAlertFromMatch(id, epoch, r.Stage2)
+	a.Attack = id
+	a.ViaFeedback = r.Verdict == VerdictUncertain
+	return a
+}

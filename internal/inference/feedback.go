@@ -1,0 +1,190 @@
+package inference
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/rules"
+)
+
+// Verdict classifies the feedback loop's four cases (§5.3, Fig. 3).
+type Verdict int
+
+// Feedback-loop verdicts.
+const (
+	// VerdictAlert: t1 positive and t2 positive (case 1) — high
+	// confidence attack; alert immediately.
+	VerdictAlert Verdict = iota
+	// VerdictClear: t1 negative and t2 negative (case 2) — no alert.
+	VerdictClear
+	// VerdictUncertain: t1 negative, t2 positive (case 3) — fetch raw
+	// packets for the uncertain centroids and re-analyze.
+	VerdictUncertain
+	// VerdictAnomalous: t1 positive, t2 negative (case 4) — should not
+	// occur since τ_d2 > τ_d1 implies t1's matches are a subset of
+	// t2's; surfaced for observability.
+	VerdictAnomalous
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAlert:
+		return "alert"
+	case VerdictClear:
+		return "clear"
+	case VerdictUncertain:
+		return "uncertain"
+	case VerdictAnomalous:
+		return "anomalous"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// RawPacketFetcher retrieves the raw packet headers behind one centroid
+// of one monitor's summary. The controller implements it over the wire
+// protocol; tests implement it in memory.
+type RawPacketFetcher interface {
+	FetchRaw(ref CentroidRef) ([]packet.Header, error)
+}
+
+// RawMatcher decides whether a set of raw packet headers constitutes the
+// attack a question describes. The production implementation is the
+// Snort-style raw engine; it is the "analysis ... by pattern matching
+// using traditional Snort rules" of §5.3's case 3.
+type RawMatcher interface {
+	MatchRaw(q *rules.Question, hs []packet.Header) bool
+}
+
+// FeedbackConfig carries the per-attack two-stage configuration: stage 1
+// is the low-FPR operating point (τ_d1, full τ_c), stage 2 the high-TPR
+// one (τ_d2 ≥ τ_d1 and a τ_c relaxed by CountScale2 ≤ 1). Anything stage
+// 2 catches that stage 1 missed is "uncertain" and resolved against raw
+// packets (§5.3).
+type FeedbackConfig struct {
+	TauD1 float64
+	TauD2 float64
+	// CountScale2 relaxes stage 2's count threshold: τ_c2 = τ_c ×
+	// CountScale2. Zero or 1 means no relaxation. Summaries lose part
+	// of an attack's mass to contaminated clusters, so a count-bound
+	// miss at stage 1 can only be recovered by a more sensitive second
+	// stage; the raw-packet confirmation keeps the FPR in check.
+	CountScale2 float64
+}
+
+// Validate reports whether the thresholds are ordered correctly.
+func (c FeedbackConfig) Validate() error {
+	if c.TauD1 < 0 || c.TauD2 < c.TauD1 {
+		return fmt.Errorf("inference: need 0 ≤ τ_d1 ≤ τ_d2, got %v, %v", c.TauD1, c.TauD2)
+	}
+	if c.CountScale2 < 0 || c.CountScale2 > 1 {
+		return fmt.Errorf("inference: count scale %v outside [0,1]", c.CountScale2)
+	}
+	return nil
+}
+
+// stage2CountThreshold returns stage 2's relaxed τ_c.
+func (c FeedbackConfig) stage2CountThreshold(tc int) int {
+	if c.CountScale2 <= 0 || c.CountScale2 >= 1 {
+		return tc
+	}
+	relaxed := int(float64(tc) * c.CountScale2)
+	if relaxed < 1 {
+		relaxed = 1
+	}
+	return relaxed
+}
+
+// FeedbackResult is the outcome of a two-stage inference for one question.
+type FeedbackResult struct {
+	Question *rules.Question
+	Verdict  Verdict
+	// Alerted is the final decision after any raw-packet re-analysis.
+	Alerted bool
+	// Stage1, Stage2 are the threshold-based results at τ_d1 and τ_d2.
+	Stage1, Stage2 *MatchResult
+	// RawFetches counts centroids whose raw packets were requested.
+	RawFetches int
+	// RawPackets counts raw packet headers transferred by the feedback,
+	// the extra communication cost of §5.3.
+	RawPackets int
+}
+
+// RunFeedback performs the two-stage inference of §5.3 for one question.
+//
+// Both stages run over the same aggregate. Case 3 (uncertain) asks
+// fetcher for the raw packets of every centroid matched at τ_d2 but not
+// at τ_d1, and re-analyzes them with matcher; the final decision is the
+// raw-analysis outcome. A nil fetcher or matcher downgrades case 3 to a
+// summary-only decision at τ_d2 (alerting), preserving the high-TPR
+// operating point at the price of FPR.
+func RunFeedback(agg *Aggregate, q *rules.Question, cfg FeedbackConfig, fetcher RawPacketFetcher, matcher RawMatcher) (*FeedbackResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s1 := estimateWithThreshold(agg, q, cfg.TauD1)
+	q2 := q.WithCountThreshold(cfg.stage2CountThreshold(q.CountThreshold))
+	s2 := estimateWithThreshold(agg, q2, cfg.TauD2)
+	res := &FeedbackResult{Question: q, Stage1: s1, Stage2: s2}
+
+	t1 := s1.Alerted()
+	// Stage 2 is a pure high-recall trigger: only the count matters.
+	// Variance refinement belongs to stage 1 and to the raw re-analysis
+	// — a wrong-window variance verdict must not suppress the fetch.
+	t2 := s2.Matched
+	switch {
+	case t1 && t2:
+		res.Verdict = VerdictAlert
+		res.Alerted = true
+	case !t1 && !t2:
+		res.Verdict = VerdictClear
+	case !t1 && t2:
+		res.Verdict = VerdictUncertain
+		if fetcher == nil || matcher == nil {
+			res.Alerted = true
+			break
+		}
+		// Fetch the raw packets behind the sensitive stage's fetch set
+		// — the uncertain evidence of Fig. 3, localized around the
+		// winning tracked value so the transfer stays proportional to
+		// the suspicion. (The set includes centroids stage 1 already
+		// matched below its count threshold: those packets are part of
+		// the same suspicion and the raw re-analysis needs them.)
+		var raw []packet.Header
+		for _, row := range s2.FetchRows {
+			hs, err := fetcher.FetchRaw(agg.Refs[row])
+			if err != nil {
+				return nil, fmt.Errorf("inference: feedback fetch: %w", err)
+			}
+			res.RawFetches++
+			res.RawPackets += len(hs)
+			raw = append(raw, hs...)
+		}
+		res.Alerted = matcher.MatchRaw(q, raw)
+	default: // t1 && !t2
+		res.Verdict = VerdictAnomalous
+		res.Alerted = t1
+	}
+	return res, nil
+}
+
+// diffRows returns the rows in a that are not in b. Both slices are
+// ascending (Algorithm 1 appends in row order).
+func diffRows(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] == b[j]:
+			i++
+			j++
+		default:
+			j++
+		}
+	}
+	return out
+}

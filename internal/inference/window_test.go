@@ -1,0 +1,213 @@
+package inference
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/packet"
+	"repro/internal/rules"
+)
+
+// buildAggregate fabricates an aggregate with given (dstIP value, count)
+// pairs; all other fields are SYN-signature-exact so a flag question
+// matches every row.
+func buildAggregate(t *testing.T, rows []struct {
+	dst   float64
+	count int
+}) *Aggregate {
+	t.Helper()
+	reps := linalg.NewMatrix(len(rows), packet.NumFields)
+	counts := make([]int, len(rows))
+	refs := make([]CentroidRef, len(rows))
+	for i, r := range rows {
+		row := reps.Row(i)
+		row[packet.FieldProtocol] = packet.Normalize(packet.FieldProtocol, packet.ProtoTCP)
+		row[packet.FieldSYN] = 1
+		row[packet.FieldDstIP] = r.dst
+		counts[i] = r.count
+		refs[i] = CentroidRef{MonitorID: 0, Epoch: 0, Centroid: i}
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return &Aggregate{Representatives: reps, Counts: counts, Refs: refs, TotalPackets: total}
+}
+
+func trackedSYNQuestion(t *testing.T, tauC int, window float64) *rules.Question {
+	t.Helper()
+	r, err := rules.Parse(`alert tcp any any -> any any (flags:S; detection_filter: track by_dst, count 1, seconds 2; sid:1;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := rules.Translate(r, nil, rules.DefaultTranslateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q = q.WithCountThreshold(tauC).WithDistanceThreshold(0.05)
+	q.TrackWindow = window
+	return q
+}
+
+func TestTrackedCountPicksDensestWindow(t *testing.T) {
+	// Three destination clusters: two at nearly the same dst (a victim),
+	// one far away with a larger single count.
+	agg := buildAggregate(t, []struct {
+		dst   float64
+		count int
+	}{
+		{0.100000, 40},
+		{0.100005, 45}, // within the window of the first
+		{0.500000, 60},
+	})
+	q := trackedSYNQuestion(t, 1, 1e-4)
+	m := EstimateSimilarity(agg, q)
+	if m.MatchedCount != 85 {
+		t.Fatalf("window count = %d, want 85 (40+45 at the victim)", m.MatchedCount)
+	}
+	if len(m.MatchedRows) != 2 {
+		t.Fatalf("window rows = %v, want the two victim clusters", m.MatchedRows)
+	}
+	// Pre-window set must include all three.
+	if len(m.AllMatchedRows) != 3 {
+		t.Fatalf("all matched = %v, want 3 rows", m.AllMatchedRows)
+	}
+}
+
+func TestTrackedCountWindowWidthMatters(t *testing.T) {
+	agg := buildAggregate(t, []struct {
+		dst   float64
+		count int
+	}{
+		{0.10, 30},
+		{0.11, 30}, // 0.01 apart
+	})
+	narrow := trackedSYNQuestion(t, 1, 1e-3)
+	if m := EstimateSimilarity(agg, narrow); m.MatchedCount != 30 {
+		t.Fatalf("narrow window count = %d, want 30", m.MatchedCount)
+	}
+	wide := trackedSYNQuestion(t, 1, 0.02)
+	if m := EstimateSimilarity(agg, wide); m.MatchedCount != 60 {
+		t.Fatalf("wide window count = %d, want 60", m.MatchedCount)
+	}
+}
+
+func TestTrackedCountEmptyMatchSet(t *testing.T) {
+	agg := buildAggregate(t, []struct {
+		dst   float64
+		count int
+	}{{0.1, 10}})
+	q := trackedSYNQuestion(t, 1, 1e-4).WithDistanceThreshold(0) // nothing within 0 except exact
+	// The built aggregate rows ARE exact for the signature, so distance
+	// 0 still matches; force a miss via an impossible protocol pin.
+	q.Vector[packet.FieldProtocol] = 1.0
+	m := EstimateSimilarity(agg, q)
+	if m.MatchedCount != 0 || len(m.MatchedRows) != 0 || m.Matched {
+		t.Fatalf("empty match set handled wrong: %+v", m)
+	}
+}
+
+// Property: the sliding-window maximum equals a brute-force scan over
+// all windows anchored at row values.
+func TestMaxWindowCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		rows := make([]struct {
+			dst   float64
+			count int
+		}, n)
+		for i := range rows {
+			rows[i].dst = rng.Float64()
+			rows[i].count = 1 + rng.Intn(20)
+		}
+		reps := linalg.NewMatrix(n, packet.NumFields)
+		counts := make([]int, n)
+		for i, r := range rows {
+			reps.Row(i)[packet.FieldDstIP] = r.dst
+			counts[i] = r.count
+		}
+		agg := &Aggregate{Representatives: reps, Counts: counts}
+		width := rng.Float64() * 0.3
+
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		_, got := maxWindowCount(agg, all, packet.FieldDstIP, width)
+
+		// Brute force: for every row as window start, sum counts of
+		// rows within [v, v+width].
+		best := 0
+		for i := range rows {
+			lo := rows[i].dst
+			sum := 0
+			for j := range rows {
+				if rows[j].dst >= lo && rows[j].dst <= lo+width {
+					sum += rows[j].count
+				}
+			}
+			if sum > best {
+				best = sum
+			}
+		}
+		return got == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CoreRows is always a subset of MatchedRows, which is a
+// subset of AllMatchedRows.
+func TestRowSetNestingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		reps := linalg.NewMatrix(n, packet.NumFields)
+		counts := make([]int, n)
+		for i := 0; i < n; i++ {
+			row := reps.Row(i)
+			row[packet.FieldProtocol] = packet.Normalize(packet.FieldProtocol, packet.ProtoTCP)
+			row[packet.FieldSYN] = 1
+			row[packet.FieldDstIP] = rng.Float64()
+			counts[i] = 1 + rng.Intn(10)
+		}
+		agg := &Aggregate{Representatives: reps, Counts: counts}
+		q := &rules.Question{
+			Vector:            make([]float64, packet.NumFields),
+			DistanceThreshold: 0.05,
+			CountThreshold:    1,
+			TrackBy:           int(packet.FieldDstIP),
+			TrackWindow:       rng.Float64() * 0.1,
+		}
+		for i := range q.Vector {
+			q.Vector[i] = rules.Irrelevant
+		}
+		q.Vector[packet.FieldSYN] = 1
+		m := EstimateSimilarity(agg, q)
+
+		inAll := map[int]bool{}
+		for _, r := range m.AllMatchedRows {
+			inAll[r] = true
+		}
+		inMatched := map[int]bool{}
+		for _, r := range m.MatchedRows {
+			if !inAll[r] {
+				return false
+			}
+			inMatched[r] = true
+		}
+		for _, r := range m.CoreRows {
+			if !inMatched[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

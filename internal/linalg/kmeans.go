@@ -1,0 +1,218 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansResult holds the output of a k-means clustering run.
+type KMeansResult struct {
+	// Centroids is a k×p matrix whose rows are the cluster centroids —
+	// the representative packets R of §4.3.
+	Centroids *Matrix
+	// Assignments maps each input row to the index of its centroid —
+	// the assignment matrix B of Eq. (4) in index form.
+	Assignments []int
+	// Counts holds the membership count of each cluster — the metadata
+	// vector c appended to the summary.
+	Counts []int
+	// Inertia is the k-means objective: the sum of squared distances
+	// from each row to its assigned centroid (the squared Frobenius
+	// residual of Eq. 4).
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// KMeansConfig controls KMeans.
+type KMeansConfig struct {
+	// MaxIterations bounds the Lloyd refinement loop. Zero or negative
+	// selects the default of 50.
+	MaxIterations int
+	// Tolerance stops iteration once the relative improvement of the
+	// objective drops below it. Zero or negative selects 1e-6.
+	Tolerance float64
+}
+
+func (c KMeansConfig) withDefaults() KMeansConfig {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 50
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-6
+	}
+	return c
+}
+
+// KMeans clusters the rows of x into k clusters using k-means++ seeding
+// (Arthur & Vassilvitskii 2007) followed by Lloyd iterations. The seeding
+// gives an O(log k)-competitive solution in expectation and, in practice,
+// fast convergence — the properties §4.3 relies on.
+//
+// rng provides all randomness so callers can make runs reproducible.
+// If k ≥ rows, every row becomes its own centroid.
+func KMeans(x *Matrix, k int, rng *rand.Rand, cfg KMeansConfig) (*KMeansResult, error) {
+	if x.Rows() == 0 || x.Cols() == 0 {
+		return nil, ErrEmptyMatrix
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("linalg: k must be ≥ 1, got %d", k)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("linalg: nil rng")
+	}
+	cfg = cfg.withDefaults()
+
+	n, p := x.Rows(), x.Cols()
+	if k >= n {
+		// Degenerate case: each row is its own representative.
+		res := &KMeansResult{
+			Centroids:   x.Clone(),
+			Assignments: make([]int, n),
+			Counts:      make([]int, n),
+		}
+		for i := 0; i < n; i++ {
+			res.Assignments[i] = i
+			res.Counts[i] = 1
+		}
+		return res, nil
+	}
+
+	centroids := seedPlusPlus(x, k, rng)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	prevObj := math.Inf(1)
+	var obj float64
+	iters := 0
+
+	for ; iters < cfg.MaxIterations; iters++ {
+		// Assignment step.
+		obj = 0
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				d := SquaredDistance(row, centroids.Row(c))
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			counts[best]++
+			obj += bestD
+		}
+
+		// Update step.
+		next := NewMatrix(k, p)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			nr := next.Row(c)
+			for j, v := range x.Row(i) {
+				nr[j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster with the point farthest from
+				// its centroid, a standard Lloyd repair step.
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					d := SquaredDistance(x.Row(i), centroids.Row(assign[i]))
+					if d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(next.Row(c), x.Row(far))
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			nr := next.Row(c)
+			for j := range nr {
+				nr[j] *= inv
+			}
+		}
+		centroids = next
+
+		if prevObj-obj <= cfg.Tolerance*math.Max(prevObj, 1) {
+			iters++
+			break
+		}
+		prevObj = obj
+	}
+
+	// Final assignment against the last centroid update.
+	obj = 0
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < k; c++ {
+			d := SquaredDistance(row, centroids.Row(c))
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		counts[best]++
+		obj += bestD
+	}
+
+	return &KMeansResult{
+		Centroids:   centroids,
+		Assignments: assign,
+		Counts:      counts,
+		Inertia:     obj,
+		Iterations:  iters,
+	}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting:
+// the first uniformly at random, each subsequent one with probability
+// proportional to its squared distance to the nearest centroid so far.
+func seedPlusPlus(x *Matrix, k int, rng *rand.Rand) *Matrix {
+	n, p := x.Rows(), x.Cols()
+	centroids := NewMatrix(k, p)
+	first := rng.Intn(n)
+	copy(centroids.Row(0), x.Row(first))
+
+	d2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d2[i] = SquaredDistance(x.Row(i), centroids.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			// All points coincide with existing centroids; fall back to
+			// uniform choice.
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centroids.Row(c), x.Row(pick))
+		for i := 0; i < n; i++ {
+			if d := SquaredDistance(x.Row(i), centroids.Row(c)); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}

@@ -1,0 +1,268 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// reconstructionError returns ‖A − U·diag(S)·Vᵀ‖_F.
+func reconstructionError(t *testing.T, a *Matrix, d *SVD) float64 {
+	t.Helper()
+	rec, err := d.Reconstruct(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := Sub(a, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diff.FrobeniusNorm()
+}
+
+func TestSVDEmptyMatrix(t *testing.T) {
+	if _, err := ComputeSVD(NewMatrix(0, 3)); err != ErrEmptyMatrix {
+		t.Fatalf("got err %v, want ErrEmptyMatrix", err)
+	}
+}
+
+func TestSVDIdentity(t *testing.T) {
+	d, err := ComputeSVD(identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range d.S {
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("singular value %d = %v, want 1", i, s)
+		}
+	}
+}
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{3, 0}, {0, 4}, {0, 0}})
+	d, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.S[0]-4) > 1e-10 || math.Abs(d.S[1]-3) > 1e-10 {
+		t.Fatalf("singular values %v, want [4 3]", d.S)
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 50, 18)
+	d, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := reconstructionError(t, a, d); e > 1e-9*a.FrobeniusNorm() {
+		t.Fatalf("reconstruction error %v too large", e)
+	}
+}
+
+func TestSVDWideMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 5, 20) // more columns than rows
+	d, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.U.Rows() != 5 || d.V.Rows() != 20 {
+		t.Fatalf("U is %dx%d, V is %dx%d", d.U.Rows(), d.U.Cols(), d.V.Rows(), d.V.Cols())
+	}
+	if e := reconstructionError(t, a, d); e > 1e-9*a.FrobeniusNorm() {
+		t.Fatalf("reconstruction error %v too large", e)
+	}
+}
+
+func TestSVDSingularValuesDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 40, 10)
+	d, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(d.S); i++ {
+		if d.S[i] > d.S[i-1]+1e-12 {
+			t.Fatalf("singular values not descending: %v", d.S)
+		}
+	}
+}
+
+func TestSVDOrthonormalColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomMatrix(rng, 30, 8)
+	d, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOrthonormal := func(name string, m *Matrix) {
+		for j := 0; j < m.Cols(); j++ {
+			for k := j; k < m.Cols(); k++ {
+				dot := Dot(m.Col(j), m.Col(k))
+				want := 0.0
+				if j == k {
+					want = 1.0
+				}
+				if math.Abs(dot-want) > 1e-9 {
+					t.Fatalf("%s columns %d,%d: dot = %v, want %v", name, j, k, dot, want)
+				}
+			}
+		}
+	}
+	checkOrthonormal("U", d.U)
+	checkOrthonormal("V", d.V)
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Third column is the sum of the first two: rank 2.
+	rows := make([][]float64, 20)
+	rng := rand.New(rand.NewSource(5))
+	for i := range rows {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		rows[i] = []float64{a, b, a + b}
+	}
+	m, _ := NewMatrixFromRows(rows)
+	d, err := ComputeSVD(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := d.Rank(0); r != 2 {
+		t.Fatalf("rank = %d, want 2 (S=%v)", r, d.S)
+	}
+}
+
+func TestSVDRankZeroMatrix(t *testing.T) {
+	d, err := ComputeSVD(NewMatrix(5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := d.Rank(0); r != 0 {
+		t.Fatalf("rank of zero matrix = %d, want 0", r)
+	}
+}
+
+func TestSVDEnergyRank(t *testing.T) {
+	d := &SVD{S: []float64{10, 3, 1, 0.1}}
+	// total = 100+9+1+0.01 = 110.01; top-1 = 100/110.01 ≈ 0.909.
+	if r := d.EnergyRank(0.90); r != 1 {
+		t.Fatalf("energy rank(0.90) = %d, want 1", r)
+	}
+	if r := d.EnergyRank(0.999); r != 3 {
+		t.Fatalf("energy rank(0.999) = %d, want 3", r)
+	}
+	if r := (&SVD{S: []float64{0, 0}}).EnergyRank(0.9); r != 0 {
+		t.Fatalf("energy rank of zero spectrum = %d, want 0", r)
+	}
+}
+
+func TestSVDTruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomMatrix(rng, 25, 6)
+	d, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur, sr, vr, err := d.Truncate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.Cols() != 3 || len(sr) != 3 || vr.Cols() != 3 {
+		t.Fatalf("truncated shapes U:%d S:%d V:%d, want 3", ur.Cols(), len(sr), vr.Cols())
+	}
+	if _, _, _, err := d.Truncate(0); err == nil {
+		t.Fatal("expected range error for r=0")
+	}
+	if _, _, _, err := d.Truncate(7); err == nil {
+		t.Fatal("expected range error for r>p")
+	}
+}
+
+// Eckart–Young: the rank-r truncation error equals sqrt(Σ_{i≥r} s_i²).
+func TestSVDEckartYoung(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomMatrix(rng, 40, 9)
+	d, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 4
+	rec, err := d.Reconstruct(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, _ := Sub(a, rec)
+	var tail float64
+	for _, s := range d.S[r:] {
+		tail += s * s
+	}
+	want := math.Sqrt(tail)
+	if math.Abs(diff.FrobeniusNorm()-want) > 1e-8 {
+		t.Fatalf("truncation error %v, want %v", diff.FrobeniusNorm(), want)
+	}
+}
+
+func TestTruncatedSVDConvenience(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomMatrix(rng, 20, 5)
+	ur, sr, vr, err := TruncatedSVD(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.Cols() != 2 || len(sr) != 2 || vr.Cols() != 2 {
+		t.Fatal("TruncatedSVD returned wrong shapes")
+	}
+}
+
+// Property: SVD reconstructs arbitrary random matrices to machine precision
+// and singular values are non-negative and sorted.
+func TestSVDReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, p := 2+rng.Intn(30), 1+rng.Intn(18)
+		a := randomMatrix(rng, n, p)
+		d, err := ComputeSVD(a)
+		if err != nil {
+			return false
+		}
+		for i, s := range d.S {
+			if s < 0 || (i > 0 && s > d.S[i-1]+1e-12) {
+				return false
+			}
+		}
+		rec, err := d.Reconstruct(0)
+		if err != nil {
+			return false
+		}
+		diff, err := Sub(a, rec)
+		if err != nil {
+			return false
+		}
+		return diff.FrobeniusNorm() <= 1e-8*(1+a.FrobeniusNorm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Frobenius norm equals the ℓ2 norm of the singular values.
+func TestSVDNormProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 3+rng.Intn(20), 1+rng.Intn(10))
+		d, err := ComputeSVD(a)
+		if err != nil {
+			return false
+		}
+		var ss float64
+		for _, s := range d.S {
+			ss += s * s
+		}
+		return math.Abs(math.Sqrt(ss)-a.FrobeniusNorm()) < 1e-8*(1+a.FrobeniusNorm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

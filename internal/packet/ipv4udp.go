@@ -1,0 +1,116 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// MarshalIPv4UDP serializes h as a real IPv4 packet carrying a UDP
+// datagram with the given payload. TCP-only fields of h (Seq, Ack,
+// Flags, Window, DataOffset) are ignored.
+func (h *Header) MarshalIPv4UDP(payload []byte) ([]byte, error) {
+	udpLen := UDPHeaderLen + len(payload)
+	totalLen := IPv4HeaderLen + udpLen
+	if totalLen > 65535 {
+		return nil, fmt.Errorf("packet: payload of %d bytes overflows IPv4 total length", len(payload))
+	}
+	buf := make([]byte, totalLen)
+
+	buf[0] = 0x45
+	buf[1] = h.TOS
+	binary.BigEndian.PutUint16(buf[2:], uint16(totalLen))
+	binary.BigEndian.PutUint16(buf[4:], h.IPID)
+	binary.BigEndian.PutUint16(buf[6:], h.FragOffset&0x1fff)
+	buf[8] = h.TTL
+	buf[9] = ProtoUDP
+	binary.BigEndian.PutUint32(buf[12:], h.SrcIP)
+	binary.BigEndian.PutUint32(buf[16:], h.DstIP)
+	binary.BigEndian.PutUint16(buf[10:], ipChecksum(buf[:IPv4HeaderLen]))
+
+	udp := buf[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(udp[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(udp[2:], h.DstPort)
+	binary.BigEndian.PutUint16(udp[4:], uint16(udpLen))
+	copy(udp[UDPHeaderLen:], payload)
+	binary.BigEndian.PutUint16(udp[6:], udpChecksum(h.SrcIP, h.DstIP, udp))
+
+	return buf, nil
+}
+
+// UnmarshalIPv4 parses real IPv4 wire bytes carrying either TCP or UDP
+// into h, dispatching on the protocol field. For UDP, the TCP-only
+// fields of h are zeroed. It returns the bytes consumed and the
+// transport payload.
+func (h *Header) UnmarshalIPv4(data []byte) (int, []byte, error) {
+	if len(data) < IPv4HeaderLen {
+		return 0, nil, fmt.Errorf("packet: %d bytes, need %d for IPv4", len(data), IPv4HeaderLen)
+	}
+	switch data[9] {
+	case ProtoTCP:
+		return h.UnmarshalIPv4TCP(data)
+	case ProtoUDP:
+		return h.unmarshalIPv4UDP(data)
+	default:
+		return 0, nil, fmt.Errorf("packet: unsupported protocol %d", data[9])
+	}
+}
+
+func (h *Header) unmarshalIPv4UDP(data []byte) (int, []byte, error) {
+	if version := data[0] >> 4; version != 4 {
+		return 0, nil, fmt.Errorf("packet: IP version %d, want 4", version)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(data) < ihl {
+		return 0, nil, fmt.Errorf("packet: bad IHL %d", ihl)
+	}
+	totalLen := int(binary.BigEndian.Uint16(data[2:]))
+	if totalLen < ihl+UDPHeaderLen || totalLen > len(data) {
+		return 0, nil, fmt.Errorf("packet: total length %d invalid", totalLen)
+	}
+	*h = Header{
+		TOS:         data[1],
+		TotalLength: uint16(totalLen),
+		IPID:        binary.BigEndian.Uint16(data[4:]),
+		FragOffset:  binary.BigEndian.Uint16(data[6:]) & 0x1fff,
+		TTL:         data[8],
+		Protocol:    ProtoUDP,
+		SrcIP:       binary.BigEndian.Uint32(data[12:]),
+		DstIP:       binary.BigEndian.Uint32(data[16:]),
+	}
+	udp := data[ihl:totalLen]
+	h.SrcPort = binary.BigEndian.Uint16(udp[0:])
+	h.DstPort = binary.BigEndian.Uint16(udp[2:])
+	return totalLen, udp[UDPHeaderLen:], nil
+}
+
+// udpChecksum computes the UDP checksum over the pseudo-header and
+// datagram, with the checksum field (bytes 6–7) skipped.
+func udpChecksum(srcIP, dstIP uint32, datagram []byte) uint16 {
+	var sum uint32
+	sum += srcIP >> 16
+	sum += srcIP & 0xffff
+	sum += dstIP >> 16
+	sum += dstIP & 0xffff
+	sum += uint32(ProtoUDP)
+	sum += uint32(len(datagram))
+	for i := 0; i+1 < len(datagram); i += 2 {
+		if i == 6 {
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(datagram[i:]))
+	}
+	if len(datagram)%2 == 1 {
+		sum += uint32(datagram[len(datagram)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	cs := ^uint16(sum)
+	if cs == 0 {
+		cs = 0xffff // RFC 768: transmitted as all ones
+	}
+	return cs
+}

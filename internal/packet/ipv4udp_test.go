@@ -1,0 +1,95 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sampleUDPHeader() Header {
+	return Header{
+		SrcIP:    0xC0A80101,
+		DstIP:    0x08080808,
+		Protocol: ProtoUDP,
+		TTL:      64,
+		IPID:     777,
+		TOS:      0,
+		SrcPort:  53124,
+		DstPort:  53,
+	}
+}
+
+func TestIPv4UDPRoundTrip(t *testing.T) {
+	h := sampleUDPHeader()
+	payload := []byte("dns query bytes")
+	wire, err := h.MarshalIPv4UDP(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != IPv4HeaderLen+UDPHeaderLen+len(payload) {
+		t.Fatalf("wire length %d", len(wire))
+	}
+	if !VerifyIPv4Checksum(wire) {
+		t.Fatal("IPv4 checksum must verify")
+	}
+	var got Header
+	n, gotPayload, err := got.UnmarshalIPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) || string(gotPayload) != string(payload) {
+		t.Fatalf("consumed %d, payload %q", n, gotPayload)
+	}
+	if got.Protocol != ProtoUDP || got.SrcIP != h.SrcIP || got.DstPort != 53 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// TCP-only fields must be zero after a UDP decode.
+	if got.Seq != 0 || got.Flags != 0 || got.Window != 0 {
+		t.Fatalf("TCP fields leaked into UDP decode: %+v", got)
+	}
+}
+
+func TestUnmarshalIPv4Dispatch(t *testing.T) {
+	tcp := sampleHeader()
+	tcpWire, _ := tcp.MarshalIPv4TCP(nil)
+	udp := sampleUDPHeader()
+	udpWire, _ := udp.MarshalIPv4UDP(nil)
+
+	var h Header
+	if _, _, err := h.UnmarshalIPv4(tcpWire); err != nil || h.Protocol != ProtoTCP {
+		t.Fatalf("TCP dispatch: %v, proto %d", err, h.Protocol)
+	}
+	if _, _, err := h.UnmarshalIPv4(udpWire); err != nil || h.Protocol != ProtoUDP {
+		t.Fatalf("UDP dispatch: %v, proto %d", err, h.Protocol)
+	}
+
+	// ICMP is unsupported.
+	icmp := append([]byte{}, tcpWire...)
+	icmp[9] = ProtoICMP
+	if _, _, err := h.UnmarshalIPv4(icmp); err == nil {
+		t.Fatal("ICMP must be rejected")
+	}
+	if _, _, err := h.UnmarshalIPv4(nil); err == nil {
+		t.Fatal("empty buffer must be rejected")
+	}
+}
+
+func TestIPv4UDPOversized(t *testing.T) {
+	h := sampleUDPHeader()
+	if _, err := h.MarshalIPv4UDP(make([]byte, 66000)); err == nil {
+		t.Fatal("oversized datagram must be rejected")
+	}
+}
+
+func TestUnmarshalIPv4UDPNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		data := make([]byte, rng.Intn(60))
+		rng.Read(data)
+		if len(data) > 9 {
+			data[9] = ProtoUDP
+			data[0] = 0x45
+		}
+		var h Header
+		h.UnmarshalIPv4(data) // errors fine, panics not
+	}
+}

@@ -1,0 +1,265 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleHeader() Header {
+	return Header{
+		SrcIP:       0xC0A80101, // 192.168.1.1
+		DstIP:       0x0A000002, // 10.0.0.2
+		Protocol:    ProtoTCP,
+		TTL:         64,
+		TotalLength: 1500,
+		IPID:        4321,
+		FragOffset:  0,
+		TOS:         0,
+		SrcPort:     44231,
+		DstPort:     22,
+		Seq:         123456789,
+		Ack:         987654321,
+		DataOffset:  5,
+		Flags:       FlagSYN | FlagACK,
+		Window:      65535,
+	}
+}
+
+func TestVectorLengthAndValues(t *testing.T) {
+	h := sampleHeader()
+	v := h.Vector(nil)
+	if len(v) != NumFields {
+		t.Fatalf("vector length %d, want %d", len(v), NumFields)
+	}
+	if v[FieldDstPort] != 22 {
+		t.Fatalf("dst port entry = %v, want 22", v[FieldDstPort])
+	}
+	if v[FieldSYN] != 1 || v[FieldACK] != 1 || v[FieldFIN] != 0 || v[FieldRST] != 0 {
+		t.Fatalf("flag entries wrong: syn=%v ack=%v fin=%v rst=%v",
+			v[FieldSYN], v[FieldACK], v[FieldFIN], v[FieldRST])
+	}
+}
+
+func TestVectorReusesDst(t *testing.T) {
+	h := sampleHeader()
+	buf := make([]float64, NumFields)
+	v := h.Vector(buf)
+	if &v[0] != &buf[0] {
+		t.Fatal("Vector must reuse the provided buffer")
+	}
+}
+
+func TestNormalizedVectorRange(t *testing.T) {
+	h := sampleHeader()
+	v := h.NormalizedVector(nil)
+	for i, x := range v {
+		if x < 0 || x > 1 {
+			t.Fatalf("field %s = %v outside [0,1]", FieldIndex(i), x)
+		}
+	}
+	if v[FieldWindow] != 1 {
+		t.Fatalf("window 65535 must normalize to 1, got %v", v[FieldWindow])
+	}
+}
+
+func TestNormalizeDenormalizeRoundTrip(t *testing.T) {
+	for f := FieldIndex(0); int(f) < NumFields; f++ {
+		raw := FieldMax(f) / 3
+		if got := Denormalize(f, Normalize(f, raw)); got != raw {
+			t.Fatalf("field %s: round trip %v != %v", f, got, raw)
+		}
+	}
+}
+
+func TestFieldByName(t *testing.T) {
+	idx, ok := FieldByName("dst_port")
+	if !ok || idx != FieldDstPort {
+		t.Fatalf("FieldByName(dst_port) = %v, %v", idx, ok)
+	}
+	if _, ok := FieldByName("bogus"); ok {
+		t.Fatal("FieldByName must reject unknown names")
+	}
+}
+
+func TestFieldString(t *testing.T) {
+	if FieldSYN.String() != "syn" {
+		t.Fatalf("FieldSYN.String() = %q", FieldSYN.String())
+	}
+	if FieldIndex(99).String() != "field(99)" {
+		t.Fatalf("out-of-range String() = %q", FieldIndex(99).String())
+	}
+}
+
+func TestTCPFlagsString(t *testing.T) {
+	if got := (FlagSYN | FlagACK).String(); got != "SA" {
+		t.Fatalf("flags string = %q, want SA", got)
+	}
+	if got := TCPFlags(0).String(); got != "0" {
+		t.Fatalf("zero flags string = %q, want 0", got)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	h := sampleHeader()
+	data := h.Encode()
+	if len(data) != WireSize {
+		t.Fatalf("encoded size %d, want %d", len(data), WireSize)
+	}
+	var got Header
+	n, err := got.DecodeFrom(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != WireSize {
+		t.Fatalf("consumed %d bytes, want %d", n, WireSize)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	var h Header
+	if _, err := h.DecodeFrom(make([]byte, WireSize-1)); err == nil {
+		t.Fatal("expected error for short buffer")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	hs := []Header{sampleHeader(), {SrcIP: 1, DstPort: 80, Flags: FlagRST}}
+	data := EncodeBatch(hs)
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != hs[0] || got[1] != hs[1] {
+		t.Fatalf("batch round trip mismatch: %+v", got)
+	}
+}
+
+func TestDecodeBatchBadLength(t *testing.T) {
+	if _, err := DecodeBatch(make([]byte, WireSize+1)); err == nil {
+		t.Fatal("expected error for ragged batch")
+	}
+}
+
+func TestFlowKey(t *testing.T) {
+	h := sampleHeader()
+	k := h.Flow()
+	if k.SrcIP != h.SrcIP || k.DstPort != h.DstPort {
+		t.Fatalf("flow key %+v does not match header", k)
+	}
+	r := k.Reverse()
+	if r.SrcIP != k.DstIP || r.SrcPort != k.DstPort {
+		t.Fatalf("reverse key %+v wrong", r)
+	}
+	if r.Reverse() != k {
+		t.Fatal("double reverse must be identity")
+	}
+}
+
+func TestFastHashSymmetric(t *testing.T) {
+	k := FlowKey{SrcIP: 0x01020304, DstIP: 0x05060708, SrcPort: 1234, DstPort: 80}
+	if k.FastHash() != k.Reverse().FastHash() {
+		t.Fatal("FastHash must be symmetric under flow reversal")
+	}
+}
+
+func TestFastHashSpreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	buckets := make(map[uint64]int)
+	const nflows = 10000
+	for i := 0; i < nflows; i++ {
+		k := FlowKey{
+			SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+			SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+		}
+		buckets[k.FastHash()%16]++
+	}
+	for b, n := range buckets {
+		frac := float64(n) / nflows
+		if frac < 0.03 || frac > 0.10 {
+			t.Fatalf("bucket %d holds %.1f%% of flows; hash is badly skewed", b, 100*frac)
+		}
+	}
+}
+
+func TestPrefixGroup(t *testing.T) {
+	h := sampleHeader()
+	g := h.PrefixGroup()
+	if g.SrcPrefix != 0xC0 || g.DstPrefix != 0x0A {
+		t.Fatalf("prefix group %+v, want {C0 0A}", g)
+	}
+}
+
+func TestAddrConversions(t *testing.T) {
+	h := sampleHeader()
+	if h.SrcAddr().String() != "192.168.1.1" {
+		t.Fatalf("src addr = %s", h.SrcAddr())
+	}
+	if AddrToU32(h.SrcAddr()) != h.SrcIP {
+		t.Fatal("AddrToU32(SrcAddr) must round trip")
+	}
+}
+
+// Property: wire encode/decode round-trips arbitrary headers.
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(srcIP, dstIP, seq, ack uint32, lens uint16, ipid uint16, frag uint16,
+		proto, ttl, tos, doff, flags uint8, sp, dp, win uint16) bool {
+		h := Header{
+			SrcIP: srcIP, DstIP: dstIP, Protocol: proto, TTL: ttl,
+			TotalLength: lens, IPID: ipid, FragOffset: frag & 0x1fff, TOS: tos,
+			SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack,
+			DataOffset: doff & 0x0f, Flags: TCPFlags(flags), Window: win,
+		}
+		var got Header
+		if _, err := got.DecodeFrom(h.Encode()); err != nil {
+			return false
+		}
+		return got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: normalized vectors always land in [0,1] for arbitrary headers.
+func TestNormalizedRangeProperty(t *testing.T) {
+	f := func(srcIP, dstIP, seq, ack uint32, flags uint8) bool {
+		h := Header{SrcIP: srcIP, DstIP: dstIP, Seq: seq, Ack: ack,
+			Protocol: 255, TTL: 255, TotalLength: 65535, Flags: TCPFlags(flags),
+			FragOffset: 8191, DataOffset: 15, Window: 65535,
+			SrcPort: 65535, DstPort: 65535, IPID: 65535, TOS: 255}
+		for _, x := range h.NormalizedVector(nil) {
+			if x < 0 || x > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHeaderDecode(b *testing.B) {
+	h := sampleHeader()
+	data := h.Encode()
+	var out Header
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := out.DecodeFrom(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalizedVector(b *testing.B) {
+	h := sampleHeader()
+	buf := make([]float64, NumFields)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.NormalizedVector(buf)
+	}
+}

@@ -1,0 +1,103 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WireSize is the fixed size in bytes of one encoded header on the wire.
+// The format packs the minimal IPv4+TCP header information Jaal needs:
+//
+//	offset size field
+//	0      4    SrcIP
+//	4      4    DstIP
+//	8      1    Protocol
+//	9      1    TTL
+//	10     2    TotalLength
+//	12     2    IPID
+//	14     2    FragOffset (13 bits used)
+//	16     1    TOS
+//	17     2    SrcPort
+//	19     2    DstPort
+//	21     4    Seq
+//	25     4    Ack
+//	29     1    DataOffset (4 bits used)
+//	30     1    Flags
+//	31     2    Window
+//
+// All multi-byte integers are big-endian (network byte order).
+const WireSize = 33
+
+// AppendEncode appends the wire encoding of h to dst and returns the
+// extended slice.
+func (h *Header) AppendEncode(dst []byte) []byte {
+	var buf [WireSize]byte
+	binary.BigEndian.PutUint32(buf[0:], h.SrcIP)
+	binary.BigEndian.PutUint32(buf[4:], h.DstIP)
+	buf[8] = h.Protocol
+	buf[9] = h.TTL
+	binary.BigEndian.PutUint16(buf[10:], h.TotalLength)
+	binary.BigEndian.PutUint16(buf[12:], h.IPID)
+	binary.BigEndian.PutUint16(buf[14:], h.FragOffset&0x1fff)
+	buf[16] = h.TOS
+	binary.BigEndian.PutUint16(buf[17:], h.SrcPort)
+	binary.BigEndian.PutUint16(buf[19:], h.DstPort)
+	binary.BigEndian.PutUint32(buf[21:], h.Seq)
+	binary.BigEndian.PutUint32(buf[25:], h.Ack)
+	buf[29] = h.DataOffset & 0x0f
+	buf[30] = byte(h.Flags)
+	binary.BigEndian.PutUint16(buf[31:], h.Window)
+	return append(dst, buf[:]...)
+}
+
+// Encode returns the wire encoding of h as a fresh slice.
+func (h *Header) Encode() []byte { return h.AppendEncode(nil) }
+
+// DecodeFrom parses one wire-format header from data into h, gopacket
+// DecodingLayer style: the receiver is overwritten in place so hot decode
+// loops allocate nothing. It returns the number of bytes consumed.
+func (h *Header) DecodeFrom(data []byte) (int, error) {
+	if len(data) < WireSize {
+		return 0, fmt.Errorf("packet: short header: %d bytes, need %d", len(data), WireSize)
+	}
+	h.SrcIP = binary.BigEndian.Uint32(data[0:])
+	h.DstIP = binary.BigEndian.Uint32(data[4:])
+	h.Protocol = data[8]
+	h.TTL = data[9]
+	h.TotalLength = binary.BigEndian.Uint16(data[10:])
+	h.IPID = binary.BigEndian.Uint16(data[12:])
+	h.FragOffset = binary.BigEndian.Uint16(data[14:]) & 0x1fff
+	h.TOS = data[16]
+	h.SrcPort = binary.BigEndian.Uint16(data[17:])
+	h.DstPort = binary.BigEndian.Uint16(data[19:])
+	h.Seq = binary.BigEndian.Uint32(data[21:])
+	h.Ack = binary.BigEndian.Uint32(data[25:])
+	h.DataOffset = data[29] & 0x0f
+	h.Flags = TCPFlags(data[30])
+	h.Window = binary.BigEndian.Uint16(data[31:])
+	return WireSize, nil
+}
+
+// EncodeBatch encodes a slice of headers back to back.
+func EncodeBatch(hs []Header) []byte {
+	out := make([]byte, 0, len(hs)*WireSize)
+	for i := range hs {
+		out = hs[i].AppendEncode(out)
+	}
+	return out
+}
+
+// DecodeBatch decodes a back-to-back batch of wire-format headers.
+// It returns an error if data is not a whole number of headers.
+func DecodeBatch(data []byte) ([]Header, error) {
+	if len(data)%WireSize != 0 {
+		return nil, fmt.Errorf("packet: batch of %d bytes is not a multiple of %d", len(data), WireSize)
+	}
+	hs := make([]Header, len(data)/WireSize)
+	for i := range hs {
+		if _, err := hs[i].DecodeFrom(data[i*WireSize:]); err != nil {
+			return nil, err
+		}
+	}
+	return hs, nil
+}

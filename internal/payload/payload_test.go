@@ -1,0 +1,134 @@
+package payload
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestNewVocabulary(t *testing.T) {
+	v, err := NewVocabulary([]string{".EXE", ".exe", "wget "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 2 {
+		t.Fatalf("size = %d, want 2 (case-insensitive dedup)", v.Size())
+	}
+	if _, ok := v.Index(".exe"); !ok {
+		t.Fatal("lookup must be case-insensitive")
+	}
+	if _, err := NewVocabulary(nil); err == nil {
+		t.Fatal("empty vocabulary must be rejected")
+	}
+	if _, err := NewVocabulary([]string{"  "}); err == nil {
+		t.Fatal("blank term must be rejected")
+	}
+}
+
+func TestDefaultVocabulary(t *testing.T) {
+	v := DefaultVocabulary()
+	if v.Size() < 10 {
+		t.Fatalf("default vocabulary suspiciously small: %d", v.Size())
+	}
+	if _, ok := v.Index(".exe"); !ok {
+		t.Fatal("default vocabulary must include .exe (the paper's example)")
+	}
+}
+
+func TestVectorize(t *testing.T) {
+	v, _ := NewVocabulary([]string{".exe", "wget "})
+	vec := v.Vectorize([]byte("GET /dropper.EXE HTTP/1.1"), nil)
+	if vec[0] <= 0 {
+		t.Fatalf(".exe frequency = %v, want > 0", vec[0])
+	}
+	if vec[1] != 0 {
+		t.Fatalf("wget frequency = %v, want 0", vec[1])
+	}
+	empty := v.Vectorize(nil, nil)
+	for _, x := range empty {
+		if x != 0 {
+			t.Fatal("empty payload must vectorize to zeros")
+		}
+	}
+	// Frequencies are capped to [0,1].
+	many := v.Vectorize([]byte(".exe .exe .exe .exe .exe .exe .exe .exe .exe .exe"), nil)
+	if many[0] != 1 {
+		t.Fatalf("capped frequency = %v, want 1", many[0])
+	}
+}
+
+// syntheticPayloads fabricates a batch of mostly boring HTTP-ish
+// payloads with a fraction carrying the keyword.
+func syntheticPayloads(rng *rand.Rand, n int, keywordFrac float64) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		if rng.Float64() < keywordFrac {
+			out[i] = []byte(fmt.Sprintf("GET /files/update%d.exe HTTP/1.1\r\nHost: cdn%d.example\r\n", i, rng.Intn(10)))
+		} else {
+			out[i] = []byte(fmt.Sprintf("GET /page%d.html HTTP/1.1\r\nHost: www%d.example\r\n", i, rng.Intn(10)))
+		}
+	}
+	return out
+}
+
+func TestSummarizeAndMatchKeyword(t *testing.T) {
+	v := DefaultVocabulary()
+	rng := rand.New(rand.NewSource(1))
+	payloads := syntheticPayloads(rng, 500, 0.10)
+	s, err := Summarize(v, payloads, 8, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := KeywordRule{Term: ".exe", MinFrequency: 0.05, MinPackets: 20}
+	count, fired, err := rule.Match(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatalf("keyword rule must fire: estimated %d carriers", count)
+	}
+	// The estimate should be in the ballpark of the injected 10 %.
+	if count < 25 || count > 120 {
+		t.Fatalf("estimated %d .exe carriers, expected ≈50", count)
+	}
+}
+
+func TestSummarizeCleanBatchQuiet(t *testing.T) {
+	v := DefaultVocabulary()
+	rng := rand.New(rand.NewSource(2))
+	payloads := syntheticPayloads(rng, 500, 0)
+	s, err := Summarize(v, payloads, 8, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := KeywordRule{Term: ".exe", MinFrequency: 0.05, MinPackets: 20}
+	count, fired, err := rule.Match(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatalf("clean batch must not fire (estimated %d)", count)
+	}
+}
+
+func TestSummarizeValidation(t *testing.T) {
+	v := DefaultVocabulary()
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Summarize(v, nil, 4, 10, rng); err == nil {
+		t.Fatal("empty batch must be rejected")
+	}
+	if _, err := Summarize(v, [][]byte{[]byte("x")}, 0, 10, rng); err == nil {
+		t.Fatal("rank 0 must be rejected")
+	}
+	if _, err := Summarize(v, [][]byte{[]byte("x")}, v.Size()+1, 10, rng); err == nil {
+		t.Fatal("rank > p must be rejected")
+	}
+}
+
+func TestMatchUnknownTerm(t *testing.T) {
+	v, _ := NewVocabulary([]string{".exe"})
+	s := &Summary{Vocabulary: v}
+	if _, _, err := (KeywordRule{Term: "nope"}).Match(s); err == nil {
+		t.Fatal("unknown term must error")
+	}
+}

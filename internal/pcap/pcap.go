@@ -1,0 +1,206 @@
+// Package pcap reads and writes the classic libpcap capture file format
+// (the .pcap files tcpdump and Wireshark produce), using only the
+// standard library. Jaal uses it to exchange traffic with the outside
+// world: synthetic workloads can be exported for inspection in standard
+// tools, and real captures can be replayed through the monitors.
+//
+// Only the original 2.4 format is implemented (magic 0xa1b2c3d4, both
+// byte orders, microsecond or nanosecond timestamps), with the
+// LINKTYPE_RAW link type (packets start at the IPv4 header) as default.
+// The pcapng format is out of scope.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Magic numbers of the classic pcap format.
+const (
+	magicMicros = 0xa1b2c3d4
+	magicNanos  = 0xa1b23c4d
+)
+
+// LinkType identifies the capture's link layer.
+type LinkType uint32
+
+// Link types used by Jaal.
+const (
+	// LinkTypeRaw means packets begin directly with the IP header.
+	LinkTypeRaw LinkType = 101
+	// LinkTypeEthernet means packets begin with a 14-byte Ethernet
+	// header.
+	LinkTypeEthernet LinkType = 1
+)
+
+// Packet is one captured record.
+type Packet struct {
+	// TimestampSec/TimestampNsec hold the capture time.
+	TimestampSec  uint32
+	TimestampNsec uint32
+	// Data is the captured bytes (up to the snap length).
+	Data []byte
+	// OriginalLength is the packet's length on the wire.
+	OriginalLength uint32
+}
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w        *bufio.Writer
+	snapLen  uint32
+	linkType LinkType
+	wroteHdr bool
+}
+
+// NewWriter returns a Writer producing microsecond-timestamped pcap with
+// the given link type. A zero snapLen defaults to 65535.
+func NewWriter(w io.Writer, linkType LinkType, snapLen uint32) *Writer {
+	if snapLen == 0 {
+		snapLen = 65535
+	}
+	return &Writer{w: bufio.NewWriter(w), snapLen: snapLen, linkType: linkType}
+}
+
+// writeHeader emits the global file header once.
+func (w *Writer) writeHeader() error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:], 4) // version minor
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:], w.snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(w.linkType))
+	_, err := w.w.Write(hdr[:])
+	return err
+}
+
+// WritePacket appends one record. Timestamps are caller-provided so
+// synthetic traces can carry deterministic virtual time.
+func (w *Writer) WritePacket(p Packet) error {
+	if !w.wroteHdr {
+		if err := w.writeHeader(); err != nil {
+			return fmt.Errorf("pcap: write header: %w", err)
+		}
+		w.wroteHdr = true
+	}
+	capLen := uint32(len(p.Data))
+	if capLen > w.snapLen {
+		capLen = w.snapLen
+	}
+	origLen := p.OriginalLength
+	if origLen == 0 {
+		origLen = uint32(len(p.Data))
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:], p.TimestampSec)
+	binary.LittleEndian.PutUint32(rec[4:], p.TimestampNsec/1000) // micros
+	binary.LittleEndian.PutUint32(rec[8:], capLen)
+	binary.LittleEndian.PutUint32(rec[12:], origLen)
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("pcap: write record header: %w", err)
+	}
+	if _, err := w.w.Write(p.Data[:capLen]); err != nil {
+		return fmt.Errorf("pcap: write record data: %w", err)
+	}
+	return nil
+}
+
+// Flush writes buffered data through. An empty stream still gets its
+// file header so the output is a valid (empty) capture.
+func (w *Writer) Flush() error {
+	if !w.wroteHdr {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+		w.wroteHdr = true
+	}
+	return w.w.Flush()
+}
+
+// Reader consumes a pcap stream.
+type Reader struct {
+	r         *bufio.Reader
+	order     binary.ByteOrder
+	nanos     bool
+	snapLen   uint32
+	linkType  LinkType
+	headerOK  bool
+	recordBuf []byte
+}
+
+// NewReader parses the global header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	rd := &Reader{r: bufio.NewReader(r)}
+	var hdr [24]byte
+	if _, err := io.ReadFull(rd.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: read header: %w", err)
+	}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:])
+	magicBE := binary.BigEndian.Uint32(hdr[0:])
+	switch {
+	case magicLE == magicMicros:
+		rd.order = binary.LittleEndian
+	case magicLE == magicNanos:
+		rd.order, rd.nanos = binary.LittleEndian, true
+	case magicBE == magicMicros:
+		rd.order = binary.BigEndian
+	case magicBE == magicNanos:
+		rd.order, rd.nanos = binary.BigEndian, true
+	default:
+		return nil, fmt.Errorf("pcap: bad magic %#x", magicLE)
+	}
+	major := rd.order.Uint16(hdr[4:])
+	if major != 2 {
+		return nil, fmt.Errorf("pcap: unsupported version %d", major)
+	}
+	rd.snapLen = rd.order.Uint32(hdr[16:])
+	rd.linkType = LinkType(rd.order.Uint32(hdr[20:]))
+	rd.headerOK = true
+	return rd, nil
+}
+
+// LinkType returns the capture's link type.
+func (r *Reader) LinkType() LinkType { return r.linkType }
+
+// SnapLen returns the capture's snap length.
+func (r *Reader) SnapLen() uint32 { return r.snapLen }
+
+// maxRecord guards against corrupt records claiming absurd lengths.
+const maxRecord = 256 << 20
+
+// Next returns the next record, or io.EOF at the clean end of stream.
+// The returned Data is only valid until the following Next call.
+func (r *Reader) Next() (Packet, error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("pcap: read record header: %w", err)
+	}
+	p := Packet{
+		TimestampSec:   r.order.Uint32(rec[0:]),
+		OriginalLength: r.order.Uint32(rec[12:]),
+	}
+	sub := r.order.Uint32(rec[4:])
+	if r.nanos {
+		p.TimestampNsec = sub
+	} else {
+		p.TimestampNsec = sub * 1000
+	}
+	capLen := r.order.Uint32(rec[8:])
+	if capLen > maxRecord {
+		return Packet{}, fmt.Errorf("pcap: record of %d bytes exceeds limit", capLen)
+	}
+	if cap(r.recordBuf) < int(capLen) {
+		r.recordBuf = make([]byte, capLen)
+	}
+	r.recordBuf = r.recordBuf[:capLen]
+	if _, err := io.ReadFull(r.r, r.recordBuf); err != nil {
+		return Packet{}, fmt.Errorf("pcap: read record data: %w", err)
+	}
+	p.Data = r.recordBuf
+	return p, nil
+}

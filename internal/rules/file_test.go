@@ -1,0 +1,67 @@
+package rules
+
+import (
+	"net/netip"
+	"os"
+	"testing"
+)
+
+// TestParseAllSampleFile loads the shipped sample rule file end to end
+// and translates every rule, pinning the parser against a realistic
+// corpus.
+func TestParseAllSampleFile(t *testing.T) {
+	f, err := os.Open("testdata/sample.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rs, err := ParseAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 7 {
+		t.Fatalf("parsed %d rules, want 7", len(rs))
+	}
+
+	bySID := map[int]*Rule{}
+	for _, r := range rs {
+		bySID[r.SID] = r
+	}
+	if r := bySID[19559]; r == nil || r.Filter == nil || r.Filter.Count != 5 {
+		t.Fatalf("sid 19559 mis-parsed: %+v", bySID[19559])
+	}
+	if r := bySID[2000001]; r == nil || !r.DstPort.Ranged || r.DstPort.Lo != 80 || r.DstPort.Hi != 88 {
+		t.Fatalf("sid 2000001 port range mis-parsed: %+v", bySID[2000001])
+	}
+	if r := bySID[2000002]; r == nil || r.Protocol != ProtoUDP || r.SrcPort.Port != 53 {
+		t.Fatalf("sid 2000002 mis-parsed: %+v", bySID[2000002])
+	}
+	if r := bySID[2000003]; r == nil || !r.Src.Negated || !r.DstPort.Negated {
+		t.Fatalf("sid 2000003 negations mis-parsed: %+v", bySID[2000003])
+	}
+	if r := bySID[2000004]; r == nil || r.Action != ActionLog || r.Direction != "<>" {
+		t.Fatalf("sid 2000004 mis-parsed: %+v", bySID[2000004])
+	}
+	if r := bySID[2000005]; r == nil || r.Window != 0 {
+		t.Fatalf("sid 2000005 window mis-parsed: %+v", bySID[2000005])
+	}
+
+	// Every rule must translate without error.
+	env := NewEnvironment()
+	env.Set("HOME_NET", netip.MustParsePrefix("10.0.0.0/8"))
+	for _, r := range rs {
+		q, err := Translate(r, env, DefaultTranslateConfig())
+		if err != nil {
+			t.Fatalf("sid %d: %v", r.SID, err)
+		}
+		if len(q.Vector) == 0 {
+			t.Fatalf("sid %d: empty question", r.SID)
+		}
+	}
+
+	// The narrow /24 resolves into the vector; broad nets do not.
+	q, _ := Translate(bySID[2000001], env, DefaultTranslateConfig())
+	if q.Vector[1] == Irrelevant { // FieldDstIP
+		t.Fatal("sid 2000001's /24 destination must resolve")
+	}
+}

@@ -1,0 +1,341 @@
+package rules
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"repro/internal/packet"
+)
+
+// ParseError reports a parse failure with its line number.
+type ParseError struct {
+	Line int
+	Rule string
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rules: line %d: %v", e.Line, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Parse parses a single rule line.
+func Parse(line string) (*Rule, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil, fmt.Errorf("rules: empty or comment line")
+	}
+
+	open := strings.IndexByte(line, '(')
+	head := line
+	var body string
+	if open >= 0 {
+		close := strings.LastIndexByte(line, ')')
+		if close < open {
+			return nil, fmt.Errorf("rules: unbalanced option parentheses")
+		}
+		head = strings.TrimSpace(line[:open])
+		body = line[open+1 : close]
+	}
+
+	fields := strings.Fields(head)
+	if len(fields) != 7 {
+		return nil, fmt.Errorf("rules: header has %d fields, want 7 (action proto src sport dir dst dport)", len(fields))
+	}
+
+	r := &Rule{Raw: line, Window: -1}
+
+	switch Action(fields[0]) {
+	case ActionAlert, ActionLog, ActionPass, ActionDrop:
+		r.Action = Action(fields[0])
+	default:
+		return nil, fmt.Errorf("rules: unknown action %q", fields[0])
+	}
+	switch Protocol(fields[1]) {
+	case ProtoTCP, ProtoUDP, ProtoIP:
+		r.Protocol = Protocol(fields[1])
+	default:
+		return nil, fmt.Errorf("rules: unknown protocol %q", fields[1])
+	}
+
+	var err error
+	if r.Src, err = parseAddress(fields[2]); err != nil {
+		return nil, fmt.Errorf("rules: source address: %w", err)
+	}
+	if r.SrcPort, err = parsePort(fields[3]); err != nil {
+		return nil, fmt.Errorf("rules: source port: %w", err)
+	}
+	if fields[4] != "->" && fields[4] != "<>" {
+		return nil, fmt.Errorf("rules: bad direction %q", fields[4])
+	}
+	r.Direction = fields[4]
+	if r.Dst, err = parseAddress(fields[5]); err != nil {
+		return nil, fmt.Errorf("rules: destination address: %w", err)
+	}
+	if r.DstPort, err = parsePort(fields[6]); err != nil {
+		return nil, fmt.Errorf("rules: destination port: %w", err)
+	}
+
+	if body != "" {
+		if err := parseOptions(r, body); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func parseAddress(s string) (AddressSpec, error) {
+	var a AddressSpec
+	if strings.HasPrefix(s, "!") {
+		a.Negated = true
+		s = s[1:]
+	}
+	switch {
+	case s == "any":
+		a.Any = true
+	case strings.HasPrefix(s, "$"):
+		a.Var = strings.ToUpper(s[1:])
+	default:
+		if !strings.Contains(s, "/") {
+			s += "/32"
+		}
+		p, err := netip.ParsePrefix(s)
+		if err != nil {
+			return a, err
+		}
+		a.Prefix = p
+	}
+	return a, nil
+}
+
+func parsePort(s string) (PortSpec, error) {
+	var p PortSpec
+	if strings.HasPrefix(s, "!") {
+		p.Negated = true
+		s = s[1:]
+	}
+	if s == "any" {
+		p.Any = true
+		return p, nil
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		p.Ranged = true
+		lo, hi := s[:i], s[i+1:]
+		if lo == "" {
+			p.Lo = 0
+		} else {
+			v, err := strconv.ParseUint(lo, 10, 16)
+			if err != nil {
+				return p, fmt.Errorf("bad port range start %q", lo)
+			}
+			p.Lo = uint16(v)
+		}
+		if hi == "" {
+			p.Hi = 65535
+		} else {
+			v, err := strconv.ParseUint(hi, 10, 16)
+			if err != nil {
+				return p, fmt.Errorf("bad port range end %q", hi)
+			}
+			p.Hi = uint16(v)
+		}
+		if p.Lo > p.Hi {
+			return p, fmt.Errorf("inverted port range %d:%d", p.Lo, p.Hi)
+		}
+		return p, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 16)
+	if err != nil {
+		return p, fmt.Errorf("bad port %q", s)
+	}
+	p.Port = uint16(v)
+	return p, nil
+}
+
+// parseOptions handles the semicolon-separated option body.
+func parseOptions(r *Rule, body string) error {
+	for _, opt := range splitOptions(body) {
+		key, val := opt, ""
+		if i := strings.IndexByte(opt, ':'); i >= 0 {
+			key, val = strings.TrimSpace(opt[:i]), strings.TrimSpace(opt[i+1:])
+		}
+		switch strings.ToLower(key) {
+		case "msg":
+			r.Msg = strings.Trim(val, `"`)
+		case "sid":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("rules: bad sid %q", val)
+			}
+			r.SID = n
+		case "rev":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("rules: bad rev %q", val)
+			}
+			r.Rev = n
+		case "classtype":
+			r.Classtype = val
+		case "content":
+			r.Content = append(r.Content, strings.Trim(val, `"`))
+		case "flags":
+			fs, err := parseFlags(val)
+			if err != nil {
+				return err
+			}
+			r.Flags = fs
+		case "window":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 || n > 65535 {
+				return fmt.Errorf("rules: bad window %q", val)
+			}
+			r.Window = n
+		case "detection_filter", "threshold":
+			df, err := parseDetectionFilter(val)
+			if err != nil {
+				return err
+			}
+			r.Filter = df
+		case "flow", "metadata", "reference", "depth", "offset", "priority", "gid":
+			// Accepted and ignored: these constrain state Jaal's
+			// summaries do not carry, matching the paper's translator.
+		default:
+			// Unknown options are ignored rather than rejected so that
+			// stock rule files load.
+		}
+	}
+	return nil
+}
+
+// splitOptions splits on semicolons outside double quotes.
+func splitOptions(body string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ';' && !inQuote:
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				out = append(out, s)
+			}
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func parseFlags(val string) (*FlagSpec, error) {
+	fs := &FlagSpec{Exact: true}
+	val = strings.TrimSpace(val)
+	// A trailing "+" means "these flags plus any others".
+	if strings.HasSuffix(val, "+") {
+		fs.Exact = false
+		val = val[:len(val)-1]
+	}
+	for _, c := range val {
+		switch c {
+		case 'F':
+			fs.Set |= packet.FlagFIN
+		case 'S':
+			fs.Set |= packet.FlagSYN
+		case 'R':
+			fs.Set |= packet.FlagRST
+		case 'P':
+			fs.Set |= packet.FlagPSH
+		case 'A':
+			fs.Set |= packet.FlagACK
+		case 'U':
+			fs.Set |= packet.FlagURG
+		case 'E':
+			fs.Set |= packet.FlagECE
+		case 'C':
+			fs.Set |= packet.FlagCWR
+		case '0':
+			// "flags:0" means no flags set.
+		default:
+			return nil, fmt.Errorf("rules: unknown flag %q", string(c))
+		}
+	}
+	return fs, nil
+}
+
+func parseDetectionFilter(val string) (*DetectionFilter, error) {
+	df := &DetectionFilter{}
+	for _, part := range strings.Split(val, ",") {
+		part = strings.TrimSpace(part)
+		fields := strings.Fields(part)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "track":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("rules: bad track clause %q", part)
+			}
+			df.TrackBySrc = fields[1] == "by_src"
+		case "count":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("rules: bad count clause %q", part)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("rules: bad count %q", fields[1])
+			}
+			df.Count = n
+		case "seconds":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("rules: bad seconds clause %q", part)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("rules: bad seconds %q", fields[1])
+			}
+			df.Seconds = n
+		case "type":
+			// threshold "type" (limit/both/threshold) is ignored.
+		default:
+			return nil, fmt.Errorf("rules: unknown detection_filter clause %q", part)
+		}
+	}
+	return df, nil
+}
+
+// ParseAll reads a rule file: one rule per line, "#" comments and blank
+// lines skipped. It returns all rules plus the first error wrapped with
+// its line number (parsing stops at the first error).
+func ParseAll(r io.Reader) ([]*Rule, error) {
+	var out []*Rule
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := Parse(line)
+		if err != nil {
+			return out, &ParseError{Line: lineNo, Rule: line, Err: err}
+		}
+		out = append(out, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("rules: read: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+// Package rules provides Jaal's rule model: a parser for a Snort-compatible
+// subset of the rule language, and the translator that converts parsed
+// rules into the question vectors the inference engine matches against
+// packet summaries (§5.2).
+//
+// A rule like
+//
+//	alert tcp $EXTERNAL_NET any -> $HOME_NET 22 (msg:"SSH brute force";
+//	    flags:S; detection_filter: track by_src, count 5, seconds 60; sid:19559;)
+//
+// is parsed into a Rule, then translated into a question vector q of
+// length p = 18 whose entries hold the normalized value of each header
+// field the rule constrains and −1 everywhere else.
+package rules
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"repro/internal/packet"
+)
+
+// Action is the rule action. Jaal only evaluates alert rules but the
+// parser accepts the standard set so real rule files load unmodified.
+type Action string
+
+// Recognized rule actions.
+const (
+	ActionAlert Action = "alert"
+	ActionLog   Action = "log"
+	ActionPass  Action = "pass"
+	ActionDrop  Action = "drop"
+)
+
+// Protocol is the rule protocol selector.
+type Protocol string
+
+// Recognized protocols.
+const (
+	ProtoTCP Protocol = "tcp"
+	ProtoUDP Protocol = "udp"
+	ProtoIP  Protocol = "ip"
+)
+
+// Number returns the IP protocol number for the selector, or -1 for "ip"
+// (any protocol).
+func (p Protocol) Number() int {
+	switch p {
+	case ProtoTCP:
+		return packet.ProtoTCP
+	case ProtoUDP:
+		return packet.ProtoUDP
+	default:
+		return -1
+	}
+}
+
+// AddressSpec is a source or destination address constraint. Exactly one
+// of Any, Var, or Prefix is meaningful.
+type AddressSpec struct {
+	// Any is true for the wildcard "any".
+	Any bool
+	// Var holds a $VARIABLE name (without the dollar sign) to be
+	// resolved against the environment at translation time.
+	Var string
+	// Prefix is a literal CIDR block or single address.
+	Prefix netip.Prefix
+	// Negated inverts the match (the "!" prefix).
+	Negated bool
+}
+
+// PortSpec is a port constraint. A nil spec or Any matches every port.
+type PortSpec struct {
+	Any     bool
+	Port    uint16
+	Lo, Hi  uint16 // inclusive range when Ranged
+	Ranged  bool
+	Negated bool
+}
+
+// Matches reports whether port satisfies the spec.
+func (s PortSpec) Matches(port uint16) bool {
+	var m bool
+	switch {
+	case s.Any:
+		m = true
+	case s.Ranged:
+		m = port >= s.Lo && port <= s.Hi
+	default:
+		m = port == s.Port
+	}
+	if s.Negated {
+		return !m
+	}
+	return m
+}
+
+// DetectionFilter mirrors Snort's detection_filter / threshold option: the
+// rule fires only after Count matching packets within Seconds, tracked by
+// source or destination.
+type DetectionFilter struct {
+	TrackBySrc bool
+	Count      int
+	Seconds    int
+}
+
+// FlagSpec constrains the TCP flags byte. Set must all be present; if
+// Exact is true no flags outside Set may be present.
+type FlagSpec struct {
+	Set   packet.TCPFlags
+	Exact bool
+}
+
+// Rule is one parsed Snort-style rule.
+type Rule struct {
+	Action    Action
+	Protocol  Protocol
+	Src       AddressSpec
+	SrcPort   PortSpec
+	Direction string // "->" or "<>"
+	Dst       AddressSpec
+	DstPort   PortSpec
+
+	// Options.
+	Msg       string
+	SID       int
+	Rev       int
+	Classtype string
+	Flags     *FlagSpec
+	Filter    *DetectionFilter
+	// Window, when non-negative, constrains the TCP window size
+	// (Sockstress sets window 0).
+	Window int
+	// Content patterns are recorded but not evaluated: Jaal's threat
+	// model excludes payloads (§2), and the paper's translator ignores
+	// content when building question vectors.
+	Content []string
+	// Raw is the original rule text.
+	Raw string
+}
+
+// String returns a compact description of the rule.
+func (r *Rule) String() string {
+	return fmt.Sprintf("%s %s sid:%d %q", r.Action, r.Protocol, r.SID, r.Msg)
+}
+
+// RequiresCount reports whether the rule carries a detection filter and so
+// needs count-thresholded matching (Algorithm 1's τ_c path).
+func (r *Rule) RequiresCount() bool { return r.Filter != nil && r.Filter.Count > 0 }
+
+// Environment resolves rule variables like $HOME_NET to concrete
+// prefixes. Missing variables resolve to "any".
+type Environment struct {
+	vars map[string]netip.Prefix
+}
+
+// NewEnvironment returns an empty environment.
+func NewEnvironment() *Environment {
+	return &Environment{vars: make(map[string]netip.Prefix)}
+}
+
+// Set binds a variable name (without "$") to a prefix.
+func (e *Environment) Set(name string, p netip.Prefix) { e.vars[strings.ToUpper(name)] = p }
+
+// Lookup resolves a variable name.
+func (e *Environment) Lookup(name string) (netip.Prefix, bool) {
+	p, ok := e.vars[strings.ToUpper(name)]
+	return p, ok
+}

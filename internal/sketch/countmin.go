@@ -1,0 +1,92 @@
+// Package sketch implements a count-min sketch, the targeted-measurement
+// baseline the paper discusses (§2, §8): sketches give strong per-query
+// guarantees but are bound to one pre-declared dimension (or field
+// combination), which is why attack signatures over arbitrary header-field
+// correlations would need a combinatorial number of them — the scaling
+// argument motivating Jaal's summaries.
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// CountMin is a count-min sketch over uint64 keys.
+type CountMin struct {
+	width  int
+	depth  int
+	counts [][]uint64
+	total  uint64
+}
+
+// NewCountMin builds a sketch with error bound epsilon (relative to the
+// stream total) at failure probability delta: width = ⌈e/ε⌉, depth =
+// ⌈ln(1/δ)⌉ (Cormode & Muthukrishnan).
+func NewCountMin(epsilon, delta float64) (*CountMin, error) {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("sketch: need 0<ε<1 and 0<δ<1, got %v, %v", epsilon, delta)
+	}
+	w := int(math.Ceil(math.E / epsilon))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	if d < 1 {
+		d = 1
+	}
+	cm := &CountMin{width: w, depth: d, counts: make([][]uint64, d)}
+	for i := range cm.counts {
+		cm.counts[i] = make([]uint64, w)
+	}
+	return cm, nil
+}
+
+// hash computes the row-i bucket for a key using FNV with a per-row salt.
+func (c *CountMin) hash(row int, key uint64) int {
+	h := fnv.New64a()
+	var buf [9]byte
+	buf[0] = byte(row)
+	binary.BigEndian.PutUint64(buf[1:], key)
+	h.Write(buf[:])
+	return int(h.Sum64() % uint64(c.width))
+}
+
+// Add increments the key's count.
+func (c *CountMin) Add(key uint64, delta uint64) {
+	for row := 0; row < c.depth; row++ {
+		c.counts[row][c.hash(row, key)] += delta
+	}
+	c.total += delta
+}
+
+// Estimate returns the (over-)estimate of the key's count.
+func (c *CountMin) Estimate(key uint64) uint64 {
+	min := uint64(math.MaxUint64)
+	for row := 0; row < c.depth; row++ {
+		if v := c.counts[row][c.hash(row, key)]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Total returns the stream total.
+func (c *CountMin) Total() uint64 { return c.total }
+
+// SizeBytes returns the serialized size: the communication cost a
+// monitor would pay shipping this sketch, used in the paper's §2
+// back-of-envelope comparison.
+func (c *CountMin) SizeBytes() int { return c.width * c.depth * 8 }
+
+// Width and Depth expose the dimensions.
+func (c *CountMin) Width() int { return c.width }
+
+// Depth returns the number of hash rows.
+func (c *CountMin) Depth() int { return c.depth }
+
+// CombinationCost returns the §2 scaling argument in numbers: the bytes
+// needed to cover every subset of f header fields with one sketch each of
+// the given per-sketch size. For f = 18 and 500 KB sketches this is the
+// paper's ≈128 GB per monitor per epoch.
+func CombinationCost(fields int, perSketchBytes int) uint64 {
+	return (uint64(1) << uint(fields)) * uint64(perSketchBytes)
+}

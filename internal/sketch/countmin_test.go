@@ -1,0 +1,116 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCountMinValidation(t *testing.T) {
+	bad := [][2]float64{{0, 0.1}, {1, 0.1}, {0.1, 0}, {0.1, 1}, {-1, 0.5}}
+	for _, c := range bad {
+		if _, err := NewCountMin(c[0], c[1]); err == nil {
+			t.Fatalf("ε=%v δ=%v must be rejected", c[0], c[1])
+		}
+	}
+	cm, err := NewCountMin(0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Width() < 250 || cm.Depth() < 4 {
+		t.Fatalf("dimensions %dx%d too small for ε=δ=0.01", cm.Width(), cm.Depth())
+	}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cm, _ := NewCountMin(0.01, 0.01)
+	truth := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		key := uint64(rng.Intn(500))
+		cm.Add(key, 1)
+		truth[key]++
+	}
+	for key, want := range truth {
+		if got := cm.Estimate(key); got < want {
+			t.Fatalf("key %d: estimate %d < true count %d", key, got, want)
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	cm, _ := NewCountMin(0.01, 0.01)
+	truth := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(2))
+	const total = 20000
+	for i := 0; i < total; i++ {
+		key := uint64(rng.Intn(1000))
+		cm.Add(key, 1)
+		truth[key]++
+	}
+	// CM guarantee: estimate ≤ true + ε·total w.h.p.
+	slack := uint64(0.01*total) + 1
+	violations := 0
+	for key, want := range truth {
+		if cm.Estimate(key) > want+slack {
+			violations++
+		}
+	}
+	if violations > len(truth)/50 { // ≤2% violations tolerated
+		t.Fatalf("%d of %d keys exceed the CM error bound", violations, len(truth))
+	}
+}
+
+func TestCountMinTotalAndSize(t *testing.T) {
+	cm, _ := NewCountMin(0.1, 0.1)
+	cm.Add(1, 5)
+	cm.Add(2, 7)
+	if cm.Total() != 12 {
+		t.Fatalf("total = %d, want 12", cm.Total())
+	}
+	if cm.SizeBytes() != cm.Width()*cm.Depth()*8 {
+		t.Fatal("size accounting wrong")
+	}
+}
+
+func TestCombinationCost(t *testing.T) {
+	// §2: 2^18 sketches × 500 KB = 128 GB.
+	got := CombinationCost(18, 500*1024)
+	const want = uint64(1<<18) * 500 * 1024
+	if got != want {
+		t.Fatalf("combination cost = %d, want %d", got, want)
+	}
+	// The paper quotes this as ≈128 GB per monitor per epoch.
+	if got < 128e9 {
+		t.Fatalf("cost %d bytes must be at least 128 GB, the paper's figure", got)
+	}
+}
+
+// Property: estimates are monotone in additions.
+func TestCountMinMonotoneProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		cm, err := NewCountMin(0.05, 0.05)
+		if err != nil {
+			return false
+		}
+		prev := map[uint64]uint64{}
+		for _, k := range keys {
+			before := cm.Estimate(k)
+			if before < prev[k] {
+				return false
+			}
+			cm.Add(k, 1)
+			if cm.Estimate(k) < before+1 {
+				return false
+			}
+			prev[k] = cm.Estimate(k)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package snort implements a Snort-like raw-packet detection engine for
+// the paper's baselines: signature matching over raw headers plus the
+// preprocessor-style detectors (port scan, flood tracking) that Snort
+// handles outside its signature path.
+//
+// Jaal uses this engine three ways (§5.3, §8): as the ground-truth
+// analyzer the feedback loop consults when summaries are inconclusive, as
+// the central analysis engine of the raw-replication baseline (Fig. 7),
+// and as the reference point for the communication-overhead accounting.
+package snort
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/rules"
+)
+
+// Engine evaluates parsed rules against raw packet headers, maintaining
+// the per-rule detection_filter counters Snort tracks.
+type Engine struct {
+	env   *rules.Environment
+	rules []*rules.Rule
+	// counters[sid] tracks detection_filter state per tracked key.
+	counters map[int]map[uint32]*filterState
+	// windowSeconds approximates the rolling window; counters reset on
+	// AdvanceTime crossing a window boundary.
+	now float64
+}
+
+// filterState is one detection_filter tracking bucket.
+type filterState struct {
+	count       int
+	windowStart float64
+}
+
+// NewEngine builds an engine over a rule set.
+func NewEngine(env *rules.Environment, rs []*rules.Rule) *Engine {
+	return &Engine{env: env, rules: rs, counters: make(map[int]map[uint32]*filterState)}
+}
+
+// AdvanceTime moves the engine clock (seconds). Detection-filter windows
+// expire relative to this clock.
+func (e *Engine) AdvanceTime(now float64) { e.now = now }
+
+// RuleAlert is an alert raised by the raw engine.
+type RuleAlert struct {
+	SID int
+	Msg string
+}
+
+// ProcessPacket evaluates one raw header against every rule, returning
+// any alerts. This is the per-packet hot path of a conventional NIDS —
+// exactly the work Jaal moves out of the core network.
+func (e *Engine) ProcessPacket(h *packet.Header) []RuleAlert {
+	var alerts []RuleAlert
+	for _, r := range e.rules {
+		if !MatchesRule(r, e.env, h) {
+			continue
+		}
+		if r.Filter == nil || r.Filter.Count <= 1 {
+			alerts = append(alerts, RuleAlert{SID: r.SID, Msg: r.Msg})
+			continue
+		}
+		key := h.DstIP
+		if r.Filter.TrackBySrc {
+			key = h.SrcIP
+		}
+		buckets, ok := e.counters[r.SID]
+		if !ok {
+			buckets = make(map[uint32]*filterState)
+			e.counters[r.SID] = buckets
+		}
+		st, ok := buckets[key]
+		if !ok || (r.Filter.Seconds > 0 && e.now-st.windowStart > float64(r.Filter.Seconds)) {
+			st = &filterState{windowStart: e.now}
+			buckets[key] = st
+		}
+		st.count++
+		if st.count == r.Filter.Count {
+			alerts = append(alerts, RuleAlert{SID: r.SID, Msg: r.Msg})
+		}
+	}
+	return alerts
+}
+
+// ProcessBatch runs every header through the engine and reports the SIDs
+// that alerted at least once.
+func (e *Engine) ProcessBatch(hs []packet.Header) map[int]int {
+	fired := make(map[int]int)
+	for i := range hs {
+		for _, a := range e.ProcessPacket(&hs[i]) {
+			fired[a.SID]++
+		}
+	}
+	return fired
+}
+
+// Reset clears all detection-filter state.
+func (e *Engine) Reset() {
+	e.counters = make(map[int]map[uint32]*filterState)
+}
+
+// MatchesRule reports whether a single raw header satisfies a rule's
+// header constraints (addresses, ports, protocol, flags, window). It is
+// the signature-matching predicate shared by the engine and the feedback
+// loop's raw matcher.
+func MatchesRule(r *rules.Rule, env *rules.Environment, h *packet.Header) bool {
+	if n := r.Protocol.Number(); n >= 0 && int(h.Protocol) != n {
+		return false
+	}
+	if !addressMatches(r.Src, env, h.SrcIP) {
+		return false
+	}
+	if !addressMatches(r.Dst, env, h.DstIP) {
+		return false
+	}
+	if !r.SrcPort.Matches(h.SrcPort) || !r.DstPort.Matches(h.DstPort) {
+		return false
+	}
+	if r.Flags != nil {
+		if !h.Flags.Has(r.Flags.Set) {
+			return false
+		}
+		if r.Flags.Exact {
+			// No flags outside the specified set (ignoring ECE/CWR
+			// congestion bits, as Snort does by default).
+			extra := h.Flags &^ (r.Flags.Set | packet.FlagECE | packet.FlagCWR)
+			if extra != 0 {
+				return false
+			}
+		}
+	}
+	if r.Window >= 0 && int(h.Window) != r.Window {
+		return false
+	}
+	return true
+}
+
+func addressMatches(a rules.AddressSpec, env *rules.Environment, ip uint32) bool {
+	match := true
+	switch {
+	case a.Any:
+		match = true
+	case a.Var != "":
+		if env == nil {
+			return !a.Negated // unresolvable treated as any
+		}
+		p, ok := env.Lookup(a.Var)
+		if !ok {
+			return !a.Negated
+		}
+		match = prefixContains(p.Addr().Is4(), packet.AddrToU32(p.Addr()), p.Bits(), ip)
+	default:
+		if !a.Prefix.IsValid() {
+			return !a.Negated
+		}
+		match = prefixContains(a.Prefix.Addr().Is4(), packet.AddrToU32(a.Prefix.Addr()), a.Prefix.Bits(), ip)
+	}
+	if a.Negated {
+		return !match
+	}
+	return match
+}
+
+func prefixContains(is4 bool, network uint32, bits int, ip uint32) bool {
+	if !is4 || bits < 0 || bits > 32 {
+		return false
+	}
+	if bits == 0 {
+		return true
+	}
+	mask := ^uint32(0) << (32 - bits)
+	return ip&mask == network&mask
+}
+
+// RawMatcher adapts the engine to the inference package's feedback
+// interface: given a question and the raw packets fetched for uncertain
+// centroids, it re-analyzes them "by pattern matching using traditional
+// Snort rules" (§5.3) — including the rule's own detection_filter
+// tracking, so a flood must still concentrate on one destination to be
+// confirmed.
+type RawMatcher struct {
+	Env *rules.Environment
+}
+
+// MatchRaw implements inference.RawMatcher.
+func (m RawMatcher) MatchRaw(q *rules.Question, hs []packet.Header) bool {
+	if q == nil || q.Rule == nil {
+		return false
+	}
+	if q.Rule.Filter == nil || q.Rule.Filter.Count <= 1 {
+		for i := range hs {
+			if MatchesRule(q.Rule, m.Env, &hs[i]) {
+				return true
+			}
+		}
+		return false
+	}
+	// Tracked rule: run the genuine engine so per-src/per-dst counting
+	// applies. The fetched batch has no timestamps; the engine clock
+	// stays at 0 so the detection window never expires mid-batch.
+	engine := NewEngine(m.Env, []*rules.Rule{q.Rule})
+	return engine.ProcessBatch(hs)[q.Rule.SID] > 0
+}
+
+// PortScanDetector reproduces Snort's sfPortscan-style preprocessor: it
+// tracks, per source, the distinct destination ports probed within a
+// window and alerts past a threshold.
+type PortScanDetector struct {
+	// DistinctPorts is the alert threshold on unique probed ports.
+	DistinctPorts int
+	// WindowSeconds is the tracking window.
+	WindowSeconds float64
+
+	now   float64
+	track map[uint32]*scanState
+}
+
+type scanState struct {
+	ports       map[uint16]bool
+	windowStart float64
+}
+
+// NewPortScanDetector builds a detector; thresholds follow Snort's
+// medium sensitivity defaults.
+func NewPortScanDetector() *PortScanDetector {
+	return &PortScanDetector{DistinctPorts: 20, WindowSeconds: 10, track: make(map[uint32]*scanState)}
+}
+
+// AdvanceTime moves the detector clock (seconds).
+func (d *PortScanDetector) AdvanceTime(now float64) { d.now = now }
+
+// ProcessPacket observes a header and reports whether it tripped the
+// scan threshold for its source.
+func (d *PortScanDetector) ProcessPacket(h *packet.Header) bool {
+	if !h.Flags.Has(packet.FlagSYN) || h.Flags.Has(packet.FlagACK) {
+		return false
+	}
+	st, ok := d.track[h.SrcIP]
+	if !ok || d.now-st.windowStart > d.WindowSeconds {
+		st = &scanState{ports: make(map[uint16]bool), windowStart: d.now}
+		d.track[h.SrcIP] = st
+	}
+	st.ports[h.DstPort] = true
+	return len(st.ports) == d.DistinctPorts
+}
+
+// String describes the detector configuration.
+func (d *PortScanDetector) String() string {
+	return fmt.Sprintf("sfPortscan(ports=%d, window=%.0fs)", d.DistinctPorts, d.WindowSeconds)
+}

@@ -1,0 +1,222 @@
+package snort
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/trafficgen"
+)
+
+func mustParse(t *testing.T, text string) *rules.Rule {
+	t.Helper()
+	r, err := rules.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func testEnv() *rules.Environment {
+	env := rules.NewEnvironment()
+	env.Set("HOME_NET", netip.MustParsePrefix("10.0.0.0/8"))
+	return env
+}
+
+func TestMatchesRuleBasics(t *testing.T) {
+	r := mustParse(t, `alert tcp any any -> $HOME_NET 22 (flags:S; sid:1;)`)
+	env := testEnv()
+	match := packet.Header{Protocol: packet.ProtoTCP, DstIP: 0x0A010203, DstPort: 22, Flags: packet.FlagSYN}
+	if !MatchesRule(r, env, &match) {
+		t.Fatal("expected match")
+	}
+	cases := map[string]packet.Header{
+		"wrong port":  {Protocol: packet.ProtoTCP, DstIP: 0x0A010203, DstPort: 23, Flags: packet.FlagSYN},
+		"wrong net":   {Protocol: packet.ProtoTCP, DstIP: 0x0B010203, DstPort: 22, Flags: packet.FlagSYN},
+		"wrong flags": {Protocol: packet.ProtoTCP, DstIP: 0x0A010203, DstPort: 22, Flags: packet.FlagACK},
+		"extra flags": {Protocol: packet.ProtoTCP, DstIP: 0x0A010203, DstPort: 22, Flags: packet.FlagSYN | packet.FlagACK},
+		"wrong proto": {Protocol: packet.ProtoUDP, DstIP: 0x0A010203, DstPort: 22, Flags: packet.FlagSYN},
+	}
+	for name, h := range cases {
+		h := h
+		if MatchesRule(r, env, &h) {
+			t.Fatalf("%s: expected no match", name)
+		}
+	}
+}
+
+func TestMatchesRuleECNIgnored(t *testing.T) {
+	r := mustParse(t, `alert tcp any any -> any any (flags:S; sid:1;)`)
+	h := packet.Header{Protocol: packet.ProtoTCP, Flags: packet.FlagSYN | packet.FlagECE | packet.FlagCWR}
+	if !MatchesRule(r, nil, &h) {
+		t.Fatal("ECE/CWR must be ignored by exact flag matching")
+	}
+}
+
+func TestMatchesRuleFlagsPlus(t *testing.T) {
+	r := mustParse(t, `alert tcp any any -> any any (flags:S+; sid:1;)`)
+	h := packet.Header{Protocol: packet.ProtoTCP, Flags: packet.FlagSYN | packet.FlagACK}
+	if !MatchesRule(r, nil, &h) {
+		t.Fatal("flags:S+ must match SYN|ACK")
+	}
+}
+
+func TestMatchesRuleWindow(t *testing.T) {
+	r := mustParse(t, `alert tcp any any -> any any (flags:A; window:0; sid:1;)`)
+	match := packet.Header{Protocol: packet.ProtoTCP, Flags: packet.FlagACK, Window: 0}
+	if !MatchesRule(r, nil, &match) {
+		t.Fatal("zero window must match")
+	}
+	miss := packet.Header{Protocol: packet.ProtoTCP, Flags: packet.FlagACK, Window: 100}
+	if MatchesRule(r, nil, &miss) {
+		t.Fatal("non-zero window must not match")
+	}
+}
+
+func TestMatchesRuleNegatedAddress(t *testing.T) {
+	r := mustParse(t, `alert tcp !10.0.0.0/8 any -> any any (sid:1;)`)
+	inside := packet.Header{Protocol: packet.ProtoTCP, SrcIP: 0x0A000001}
+	outside := packet.Header{Protocol: packet.ProtoTCP, SrcIP: 0x0B000001}
+	if MatchesRule(r, nil, &inside) {
+		t.Fatal("negated prefix must exclude inside addresses")
+	}
+	if !MatchesRule(r, nil, &outside) {
+		t.Fatal("negated prefix must include outside addresses")
+	}
+}
+
+func TestEngineDetectionFilter(t *testing.T) {
+	r := mustParse(t, `alert tcp any any -> any 22 (msg:"brute"; flags:S; detection_filter: track by_src, count 5, seconds 60; sid:7;)`)
+	e := NewEngine(nil, []*rules.Rule{r})
+	h := packet.Header{Protocol: packet.ProtoTCP, SrcIP: 42, DstPort: 22, Flags: packet.FlagSYN}
+	for i := 0; i < 4; i++ {
+		if alerts := e.ProcessPacket(&h); len(alerts) != 0 {
+			t.Fatalf("alerted after %d packets, threshold is 5", i+1)
+		}
+	}
+	if alerts := e.ProcessPacket(&h); len(alerts) != 1 || alerts[0].SID != 7 {
+		t.Fatalf("expected alert at packet 5, got %v", alerts)
+	}
+	// Another source has its own counter.
+	h2 := h
+	h2.SrcIP = 43
+	if alerts := e.ProcessPacket(&h2); len(alerts) != 0 {
+		t.Fatal("per-source tracking must isolate counters")
+	}
+}
+
+func TestEngineWindowExpiry(t *testing.T) {
+	r := mustParse(t, `alert tcp any any -> any 22 (flags:S; detection_filter: track by_src, count 3, seconds 10; sid:8;)`)
+	e := NewEngine(nil, []*rules.Rule{r})
+	h := packet.Header{Protocol: packet.ProtoTCP, SrcIP: 1, DstPort: 22, Flags: packet.FlagSYN}
+	e.AdvanceTime(0)
+	e.ProcessPacket(&h)
+	e.ProcessPacket(&h)
+	e.AdvanceTime(11) // window expired
+	if alerts := e.ProcessPacket(&h); len(alerts) != 0 {
+		t.Fatal("expired window must reset the counter")
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	r := mustParse(t, `alert tcp any any -> any any (flags:S; detection_filter: track by_src, count 2, seconds 60; sid:9;)`)
+	e := NewEngine(nil, []*rules.Rule{r})
+	h := packet.Header{Protocol: packet.ProtoTCP, SrcIP: 1, Flags: packet.FlagSYN}
+	e.ProcessPacket(&h)
+	e.Reset()
+	if alerts := e.ProcessPacket(&h); len(alerts) != 0 {
+		t.Fatal("reset must clear counters")
+	}
+}
+
+func TestEngineProcessBatchOnAttack(t *testing.T) {
+	rule, err := rules.LibraryRule(rules.AttackDistributedSYNFlood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv()
+	e := NewEngine(env, []*rules.Rule{rule})
+	atk, err := trafficgen.NewAttack(rules.AttackDistributedSYNFlood, trafficgen.AttackConfig{Seed: 1, Victim: 0x0A000001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := make([]packet.Header, 1000)
+	for i := range hs {
+		hs[i] = atk.Next()
+	}
+	fired := e.ProcessBatch(hs)
+	if fired[rule.SID] == 0 {
+		t.Fatal("raw engine must detect the flood")
+	}
+}
+
+func TestEngineCleanBackground(t *testing.T) {
+	rule, _ := rules.LibraryRule(rules.AttackDistributedSYNFlood)
+	env := testEnv()
+	e := NewEngine(env, []*rules.Rule{rule})
+	bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(2))
+	fired := e.ProcessBatch(bg.Batch(5000))
+	if n := fired[rule.SID]; n > 2 {
+		t.Fatalf("background traffic fired the flood rule %d times", n)
+	}
+}
+
+func TestRawMatcher(t *testing.T) {
+	rule := mustParse(t, `alert tcp any any -> any 80 (flags:S; detection_filter: track by_dst, count 3, seconds 2; sid:5;)`)
+	q, err := rules.Translate(rule, nil, rules.DefaultTranslateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := RawMatcher{}
+	syn := packet.Header{Protocol: packet.ProtoTCP, DstPort: 80, Flags: packet.FlagSYN}
+	if m.MatchRaw(q, []packet.Header{syn, syn}) {
+		t.Fatal("2 < count threshold 3 must not match")
+	}
+	if !m.MatchRaw(q, []packet.Header{syn, syn, syn}) {
+		t.Fatal("3 packets must match")
+	}
+	if m.MatchRaw(nil, []packet.Header{syn}) {
+		t.Fatal("nil question must not match")
+	}
+}
+
+func TestPortScanDetector(t *testing.T) {
+	d := NewPortScanDetector()
+	d.AdvanceTime(0)
+	tripped := false
+	for port := uint16(1); port <= 25; port++ {
+		h := packet.Header{Protocol: packet.ProtoTCP, SrcIP: 99, DstPort: port, Flags: packet.FlagSYN}
+		if d.ProcessPacket(&h) {
+			tripped = true
+			if port != uint16(d.DistinctPorts) {
+				t.Fatalf("tripped at port %d, want %d", port, d.DistinctPorts)
+			}
+		}
+	}
+	if !tripped {
+		t.Fatal("scan must trip the detector")
+	}
+	// Non-SYN packets are ignored.
+	h := packet.Header{Protocol: packet.ProtoTCP, SrcIP: 100, DstPort: 1, Flags: packet.FlagACK}
+	if d.ProcessPacket(&h) {
+		t.Fatal("ACK packets must not count towards scans")
+	}
+	if d.String() == "" {
+		t.Fatal("detector must describe itself")
+	}
+}
+
+func TestPortScanDetectorWindowReset(t *testing.T) {
+	d := NewPortScanDetector()
+	d.AdvanceTime(0)
+	for port := uint16(1); port <= 10; port++ {
+		h := packet.Header{Protocol: packet.ProtoTCP, SrcIP: 7, DstPort: port, Flags: packet.FlagSYN}
+		d.ProcessPacket(&h)
+	}
+	d.AdvanceTime(11) // window expires
+	h := packet.Header{Protocol: packet.ProtoTCP, SrcIP: 7, DstPort: 11, Flags: packet.FlagSYN}
+	if d.ProcessPacket(&h) {
+		t.Fatal("expired window must reset distinct-port tracking")
+	}
+}

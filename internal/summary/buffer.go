@@ -1,0 +1,139 @@
+package summary
+
+import (
+	"repro/internal/packet"
+)
+
+// Batch couples a full batch of raw headers with its summary-ready state.
+type Batch struct {
+	// Headers are the buffered packet headers in arrival order.
+	Headers []packet.Header
+	// Epoch is the batch's unique sequence number at this monitor. It
+	// travels inside the summary so the controller can reference the
+	// exact batch when it requests raw packets, even when several
+	// batches seal within one controller tick.
+	Epoch uint64
+}
+
+// Buffer accumulates packet headers at a monitor until a batch of the
+// configured size is full (§4.1). It also implements the short-lived
+// centroid→raw-packets table of §7: after a batch is summarized, the raw
+// headers are retained — keyed by batch sequence and centroid index — so
+// the controller's feedback loop can request them (§5.3). Retention
+// expires two controller ticks after sealing, matching the paper's
+// per-epoch hash-table deletion.
+//
+// Buffer is not safe for concurrent use; each monitor owns one.
+type Buffer struct {
+	batchSize int
+	pending   []packet.Header
+	// seq numbers sealed batches.
+	seq uint64
+	// tick is the controller-tick clock driven by AdvanceEpoch.
+	tick uint64
+
+	retained map[uint64]*retainedBatch
+}
+
+type retainedBatch struct {
+	byCentroid map[int][]packet.Header
+	sealedTick uint64
+	// k is the centroid count of the summary the batch was retained
+	// under, bounding the centroid index space.
+	k int
+}
+
+// NewBuffer returns a Buffer sealing batches of batchSize packets.
+func NewBuffer(batchSize int) *Buffer {
+	if batchSize < 1 {
+		panic("summary: batch size must be ≥ 1")
+	}
+	return &Buffer{
+		batchSize: batchSize,
+		pending:   make([]packet.Header, 0, batchSize),
+		retained:  make(map[uint64]*retainedBatch),
+	}
+}
+
+// Add buffers one header. When the buffer reaches the batch size it seals
+// and returns the batch (and a true flag); otherwise it returns nil, false.
+func (b *Buffer) Add(h packet.Header) (*Batch, bool) {
+	b.pending = append(b.pending, h)
+	if len(b.pending) < b.batchSize {
+		return nil, false
+	}
+	return b.seal(), true
+}
+
+// Pending returns the number of packets buffered but not yet sealed.
+func (b *Buffer) Pending() int { return len(b.pending) }
+
+// Flush seals whatever is buffered, returning nil when empty. It is used
+// when the controller polls monitors for summaries mid-batch (§5.1).
+func (b *Buffer) Flush() *Batch {
+	if len(b.pending) == 0 {
+		return nil
+	}
+	return b.seal()
+}
+
+func (b *Buffer) seal() *Batch {
+	batch := &Batch{Headers: b.pending, Epoch: b.seq}
+	b.seq++
+	b.pending = make([]packet.Header, 0, b.batchSize)
+	return batch
+}
+
+// Retain records the centroid→packets mapping for a summarized batch so
+// that raw packets can be served to the feedback loop.
+func (b *Buffer) Retain(batch *Batch, s *Summary) {
+	table := make(map[int][]packet.Header, s.K())
+	for i, c := range s.Assignments {
+		table[c] = append(table[c], batch.Headers[i])
+	}
+	b.retained[batch.Epoch] = &retainedBatch{byCentroid: table, sealedTick: b.tick, k: s.K()}
+}
+
+// RawPackets returns the raw headers that were assigned to the given
+// centroid in the batch with the given sequence number, or nil when the
+// batch's retention has expired.
+func (b *Buffer) RawPackets(epoch uint64, centroid int) []packet.Header {
+	rb, ok := b.retained[epoch]
+	if !ok {
+		return nil
+	}
+	return rb.byCentroid[centroid]
+}
+
+// RawBatch reassembles the full retained batch for the given sequence
+// number (order is by centroid, not arrival), or nil after expiry. The
+// feedback loop's finer-grained-summary path re-summarizes this batch at
+// a higher k (§5.3).
+func (b *Buffer) RawBatch(epoch uint64) []packet.Header {
+	rb, ok := b.retained[epoch]
+	if !ok {
+		return nil
+	}
+	var out []packet.Header
+	for c := 0; c < rb.k; c++ {
+		out = append(out, rb.byCentroid[c]...)
+	}
+	return out
+}
+
+// AdvanceEpoch moves the buffer to the next controller tick, expiring
+// retention for batches sealed before the previous tick. The monitor
+// calls this on the controller's epoch tick (every 2 s in the paper's
+// deployment).
+func (b *Buffer) AdvanceEpoch() uint64 {
+	b.tick++
+	for seq, rb := range b.retained {
+		if rb.sealedTick+1 < b.tick {
+			delete(b.retained, seq)
+		}
+	}
+	return b.tick
+}
+
+// Epoch returns the current controller-tick clock.
+func (b *Buffer) Epoch() uint64 { return b.tick }

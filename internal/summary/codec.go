@@ -1,0 +1,155 @@
+package summary
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Wire format of a serialized summary (all integers big-endian):
+//
+//	byte    kind (1 = combined, 2 = split)
+//	uint32  monitor ID
+//	uint64  epoch
+//	uint32  batch size n
+//	uint16  rank r
+//	uint16  k (centroid count)
+//	uint16  centroid width (p for combined, r for split)
+//	k ×     uint32 counts
+//	k·w ×   float32 centroid elements (row-major)
+//	split only:
+//	  uint16 p, r × float32 Σ, p·r × float32 V (row-major)
+//
+// Elements travel as float32: every value is a normalized header field
+// (or a factor of such values) in [−1, 1], where float32's ~1e-7
+// resolution is far below any matching threshold. Halving the element
+// size is what puts the summary transfer cost at the paper's ≈30–35 %
+// of raw headers.
+//
+// Assignments are monitor-local and never serialized.
+
+const codecHeaderSize = 1 + 4 + 8 + 4 + 2 + 2 + 2
+
+// Marshal serializes the summary to its wire format.
+func (s *Summary) Marshal() ([]byte, error) {
+	if s.Kind != KindCombined && s.Kind != KindSplit {
+		return nil, fmt.Errorf("summary: cannot marshal kind %v", s.Kind)
+	}
+	k := s.Centroids.Rows()
+	w := s.Centroids.Cols()
+	if len(s.Counts) != k {
+		return nil, fmt.Errorf("summary: %d counts for %d centroids", len(s.Counts), k)
+	}
+	size := codecHeaderSize + 4*k + elementSize*k*w
+	if s.Kind == KindSplit {
+		if s.V == nil || len(s.Sigma) != s.Rank || s.V.Cols() != s.Rank {
+			return nil, fmt.Errorf("summary: malformed split summary (rank %d, |Σ|=%d)", s.Rank, len(s.Sigma))
+		}
+		size += 2 + elementSize*len(s.Sigma) + elementSize*s.V.Rows()*s.V.Cols()
+	}
+	buf := make([]byte, 0, size)
+
+	buf = append(buf, byte(s.Kind))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.MonitorID))
+	buf = binary.BigEndian.AppendUint64(buf, s.Epoch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.BatchSize))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(s.Rank))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(k))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(w))
+	for _, c := range s.Counts {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(c))
+	}
+	buf = appendFloats(buf, s.Centroids.Data())
+	if s.Kind == KindSplit {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(s.V.Rows()))
+		buf = appendFloats(buf, s.Sigma)
+		buf = appendFloats(buf, s.V.Data())
+	}
+	return buf, nil
+}
+
+// Unmarshal parses a wire-format summary.
+func Unmarshal(data []byte) (*Summary, error) {
+	if len(data) < codecHeaderSize {
+		return nil, fmt.Errorf("summary: truncated header: %d bytes", len(data))
+	}
+	s := &Summary{}
+	s.Kind = Kind(data[0])
+	if s.Kind != KindCombined && s.Kind != KindSplit {
+		return nil, fmt.Errorf("summary: unknown kind byte %d", data[0])
+	}
+	s.MonitorID = int(binary.BigEndian.Uint32(data[1:]))
+	s.Epoch = binary.BigEndian.Uint64(data[5:])
+	s.BatchSize = int(binary.BigEndian.Uint32(data[13:]))
+	s.Rank = int(binary.BigEndian.Uint16(data[17:]))
+	k := int(binary.BigEndian.Uint16(data[19:]))
+	w := int(binary.BigEndian.Uint16(data[21:]))
+	off := codecHeaderSize
+
+	if k == 0 || w == 0 {
+		return nil, fmt.Errorf("summary: empty centroid block k=%d w=%d", k, w)
+	}
+	need := 4*k + elementSize*k*w
+	if len(data)-off < need {
+		return nil, fmt.Errorf("summary: truncated body: have %d, need %d", len(data)-off, need)
+	}
+	s.Counts = make([]int, k)
+	for i := range s.Counts {
+		s.Counts[i] = int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+	}
+	cdata := make([]float64, k*w)
+	off = readFloats(data, off, cdata)
+	var err error
+	s.Centroids, err = linalg.NewMatrixFromData(k, w, cdata)
+	if err != nil {
+		return nil, err
+	}
+
+	if s.Kind == KindSplit {
+		if len(data)-off < 2 {
+			return nil, fmt.Errorf("summary: truncated split block")
+		}
+		p := int(binary.BigEndian.Uint16(data[off:]))
+		off += 2
+		if w != s.Rank {
+			return nil, fmt.Errorf("summary: split centroid width %d != rank %d", w, s.Rank)
+		}
+		need = elementSize*s.Rank + elementSize*p*s.Rank
+		if len(data)-off < need {
+			return nil, fmt.Errorf("summary: truncated split factors: have %d, need %d", len(data)-off, need)
+		}
+		s.Sigma = make([]float64, s.Rank)
+		off = readFloats(data, off, s.Sigma)
+		vdata := make([]float64, p*s.Rank)
+		off = readFloats(data, off, vdata)
+		s.V, err = linalg.NewMatrixFromData(p, s.Rank, vdata)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("summary: %d trailing bytes", len(data)-off)
+	}
+	return s, nil
+}
+
+// elementSize is the wire size of one summary element (float32).
+const elementSize = 4
+
+func appendFloats(buf []byte, xs []float64) []byte {
+	for _, x := range xs {
+		buf = binary.BigEndian.AppendUint32(buf, math.Float32bits(float32(x)))
+	}
+	return buf
+}
+
+func readFloats(data []byte, off int, dst []float64) int {
+	for i := range dst {
+		dst[i] = float64(math.Float32frombits(binary.BigEndian.Uint32(data[off:])))
+		off += 4
+	}
+	return off
+}

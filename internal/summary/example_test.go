@@ -1,0 +1,62 @@
+package summary_test
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/summary"
+)
+
+// ExampleSummarizer shows the §4 pipeline on a toy batch: buffer
+// headers, summarize at a chosen (n, r, k) operating point, and inspect
+// the representatives the controller would receive.
+func ExampleSummarizer() {
+	// A toy batch: 100 copies of a SYN towards one server, with only
+	// the source port varying.
+	headers := make([]packet.Header, 100)
+	for i := range headers {
+		headers[i] = packet.Header{
+			SrcIP:    0xC0A80001,
+			DstIP:    0x0A000001,
+			Protocol: packet.ProtoTCP,
+			TTL:      64,
+			SrcPort:  uint16(1024 + i),
+			DstPort:  80,
+			Flags:    packet.FlagSYN,
+			Window:   512,
+		}
+	}
+
+	szr, err := summary.NewSummarizer(summary.Config{
+		BatchSize: 100, Rank: 4, Centroids: 2, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s, err := szr.Summarize(headers, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	reps, err := s.Representatives()
+	if err != nil {
+		panic(err)
+	}
+	total := 0
+	for _, c := range s.Counts {
+		total += c
+	}
+	fmt.Printf("kind=%s k=%d packets=%d elements=%d\n", s.Kind, s.K(), total, s.Elements())
+	// All packets share the SYN signature, so every representative has
+	// the SYN entry ≈ 1.
+	for i := 0; i < reps.Rows(); i++ {
+		fmt.Printf("centroid %d: syn=%.0f dst_port=%.0f\n",
+			i,
+			reps.At(i, int(packet.FieldSYN)),
+			packet.Denormalize(packet.FieldDstPort, reps.At(i, int(packet.FieldDstPort))))
+	}
+	// Output:
+	// kind=combined k=2 packets=100 elements=38
+	// centroid 0: syn=1 dst_port=80
+	// centroid 1: syn=1 dst_port=80
+}

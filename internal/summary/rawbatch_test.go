@@ -1,0 +1,67 @@
+package summary
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestBufferRawBatch(t *testing.T) {
+	b := NewBuffer(60)
+	rng := rand.New(rand.NewSource(20))
+	var batch *Batch
+	for _, h := range randomHeaders(rng, 60) {
+		batch, _ = b.Add(h)
+	}
+	if batch == nil {
+		t.Fatal("batch not sealed")
+	}
+	s, err := NewSummarizer(Config{BatchSize: 60, Rank: 8, Centroids: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Summarize(batch.Headers, 0, batch.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Retain(batch, sum)
+
+	raw := b.RawBatch(batch.Epoch)
+	if len(raw) != 60 {
+		t.Fatalf("raw batch has %d headers, want 60", len(raw))
+	}
+	// Same multiset of headers (order is by centroid).
+	want := map[Key]int{}
+	for _, h := range batch.Headers {
+		want[keyOf(h)]++
+	}
+	for _, h := range raw {
+		want[keyOf(h)]--
+	}
+	for k, n := range want {
+		if n != 0 {
+			t.Fatalf("header multiset mismatch at %v (%+d)", k, n)
+		}
+	}
+
+	if b.RawBatch(999) != nil {
+		t.Fatal("unknown batch must yield nil")
+	}
+	b.AdvanceEpoch()
+	b.AdvanceEpoch()
+	if b.RawBatch(batch.Epoch) != nil {
+		t.Fatal("expired batch must yield nil")
+	}
+}
+
+// Key condenses a header for multiset comparison.
+type Key struct {
+	src, dst uint32
+	sp, dp   uint16
+	seq      uint32
+}
+
+func keyOf(h packet.Header) Key {
+	return Key{src: h.SrcIP, dst: h.DstIP, sp: h.SrcPort, dp: h.DstPort, seq: h.Seq}
+}

@@ -1,0 +1,320 @@
+// Package summary implements Jaal's in-network packet summarization (§4).
+//
+// A monitor buffers packet headers until it holds a batch of n packets,
+// organizes them as an n×p matrix X of normalized header fields, reduces
+// the fields mode with a truncated SVD (rank r), reduces the packets mode
+// with k-means++ clustering (k centroids), and ships the result — the
+// packet summary — to the central inference engine.
+//
+// Two equivalent encodings exist with different sizes (§4.3):
+//
+//   - a combined summary S1 clusters the rank-reduced matrix X̄_p directly
+//     and carries k centroids of p fields plus a membership-count vector:
+//     k·(p+1) elements;
+//   - a split summary S2 clusters the left singular vectors U_r and carries
+//     the k reduced centroids, Σ_r, V_r and the counts:
+//     r·(k+p+1)+k elements.
+//
+// Summarize picks whichever is smaller for the configured (r, k, p).
+package summary
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/packet"
+)
+
+// Kind discriminates the two summary encodings.
+type Kind uint8
+
+// Summary kinds.
+const (
+	// KindCombined is S1: k full-width centroids plus counts.
+	KindCombined Kind = 1
+	// KindSplit is S2: k reduced centroids, Σ_r·V_rᵀ factors plus counts.
+	KindSplit Kind = 2
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCombined:
+		return "combined"
+	case KindSplit:
+		return "split"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Config holds the summarization design parameters of §4.
+type Config struct {
+	// BatchSize is n, the number of packets per summarized batch.
+	BatchSize int
+	// Rank is r, the retained SVD rank (1 ≤ r ≤ p). The paper finds
+	// r = 12 the best accuracy/cost tradeoff (Fig. 5, Fig. 10).
+	Rank int
+	// Centroids is k, the number of representative packets. The paper
+	// finds k = n/5 (e.g. 200 for n = 1000) near-saturating (Fig. 4).
+	Centroids int
+	// MinBatch is n_min: a monitor asked for a summary with fewer than
+	// MinBatch buffered packets declines, because SVD and clustering
+	// degrade on tiny batches (§5.1).
+	MinBatch int
+	// Seed seeds the deterministic RNG used by k-means++ so summaries
+	// are reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the operating point the paper converges on:
+// n = 1000, r = 12, k = 200, n_min = 600.
+func DefaultConfig() Config {
+	return Config{BatchSize: 1000, Rank: 12, Centroids: 200, MinBatch: 600, Seed: 1}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.BatchSize < 1:
+		return fmt.Errorf("summary: batch size %d < 1", c.BatchSize)
+	case c.Rank < 1 || c.Rank > packet.NumFields:
+		return fmt.Errorf("summary: rank %d outside [1,%d]", c.Rank, packet.NumFields)
+	case c.Centroids < 1:
+		return fmt.Errorf("summary: centroids %d < 1", c.Centroids)
+	case c.MinBatch < 0 || c.MinBatch > c.BatchSize:
+		return fmt.Errorf("summary: min batch %d outside [0,%d]", c.MinBatch, c.BatchSize)
+	}
+	return nil
+}
+
+// CombinedSize returns the element count of an S1 summary: k(p+1).
+func CombinedSize(k, p int) int { return k * (p + 1) }
+
+// SplitSize returns the element count of an S2 summary: r(k+p+1)+k.
+func SplitSize(r, k, p int) int { return r*(k+p+1) + k }
+
+// PreferSplit reports whether the split encoding is strictly smaller for
+// the given parameters, i.e. r(k+p+1)+k < k(p+1) (§4.3).
+func PreferSplit(r, k, p int) bool { return SplitSize(r, k, p) < CombinedSize(k, p) }
+
+// Summary is one monitor's packet summary for one batch.
+//
+// For KindCombined, Centroids is the k×p matrix X̃_p of representative
+// packets in normalized field space. For KindSplit, Centroids is the k×r
+// matrix Ũ_r of clustered left singular vectors, and Sigma/V carry the
+// factors needed to reconstruct representatives at the controller.
+type Summary struct {
+	Kind Kind
+	// MonitorID identifies the producing monitor.
+	MonitorID int
+	// Epoch is the summarization epoch this batch belongs to.
+	Epoch uint64
+	// BatchSize is the number of packets summarized (n).
+	BatchSize int
+	// Rank is the retained SVD rank (r).
+	Rank int
+
+	// Centroids is k×p (combined) or k×r (split).
+	Centroids *linalg.Matrix
+	// Counts[i] is the number of packets assigned to centroid i.
+	Counts []int
+	// Sigma holds the r retained singular values (split only).
+	Sigma []float64
+	// V is the p×r right-singular-vector matrix (split only).
+	V *linalg.Matrix
+
+	// Assignments maps each packet in the batch to its centroid. It is
+	// monitor-local state — never transmitted — and backs the
+	// centroid→raw-packets table used by the feedback loop (§7).
+	Assignments []int
+}
+
+// K returns the number of centroids in the summary.
+func (s *Summary) K() int { return s.Centroids.Rows() }
+
+// Elements returns the number of elements the summary transmits, the
+// communication-cost unit used throughout §8. On the wire each element
+// is a float32 (see codec.go), so bytes = 4 × Elements().
+func (s *Summary) Elements() int {
+	switch s.Kind {
+	case KindCombined:
+		return CombinedSize(s.K(), s.Centroids.Cols())
+	case KindSplit:
+		return SplitSize(s.Rank, s.K(), s.V.Rows())
+	default:
+		return 0
+	}
+}
+
+// Representatives returns the k×p matrix of representative packets in
+// normalized field space, reconstructing Ũ_r·Σ_r·V_rᵀ for split summaries
+// (§5.1). Combined summaries return their centroids directly.
+func (s *Summary) Representatives() (*linalg.Matrix, error) {
+	switch s.Kind {
+	case KindCombined:
+		return s.Centroids, nil
+	case KindSplit:
+		k, r := s.Centroids.Rows(), s.Rank
+		p := s.V.Rows()
+		out := linalg.NewMatrix(k, p)
+		for i := 0; i < k; i++ {
+			ui := s.Centroids.Row(i)
+			oi := out.Row(i)
+			for t := 0; t < r; t++ {
+				us := ui[t] * s.Sigma[t]
+				if us == 0 {
+					continue
+				}
+				for j := 0; j < p; j++ {
+					oi[j] += us * s.V.At(j, t)
+				}
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("summary: unknown kind %v", s.Kind)
+	}
+}
+
+// ErrBatchTooSmall is returned when a batch has fewer than MinBatch
+// packets (§5.1: summaries over tiny batches hurt accuracy).
+var ErrBatchTooSmall = errors.New("summary: batch smaller than configured minimum")
+
+// Summarizer turns batches of packet headers into summaries. It is the
+// per-monitor summarization process of §7: it owns a reusable RNG and
+// scratch state, so one Summarizer must not be shared across goroutines.
+type Summarizer struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewSummarizer validates cfg and returns a ready Summarizer.
+func NewSummarizer(cfg Config) (*Summarizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Summarizer{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Config returns the summarizer's configuration.
+func (s *Summarizer) Config() Config { return s.cfg }
+
+// BuildMatrix assembles the normalized n×p batch matrix X̄ of §4.1 from
+// headers.
+func BuildMatrix(headers []packet.Header) *linalg.Matrix {
+	m := linalg.NewMatrix(len(headers), packet.NumFields)
+	for i := range headers {
+		headers[i].NormalizedVector(m.Row(i))
+	}
+	return m
+}
+
+// Summarize produces the summary of one batch, picking the smaller of the
+// combined and split encodings. The monitor/epoch labels are stamped into
+// the result. It returns ErrBatchTooSmall when len(headers) < MinBatch.
+func (s *Summarizer) Summarize(headers []packet.Header, monitorID int, epoch uint64) (*Summary, error) {
+	n := len(headers)
+	if n < s.cfg.MinBatch || n == 0 {
+		return nil, fmt.Errorf("%w: %d < %d", ErrBatchTooSmall, n, s.cfg.MinBatch)
+	}
+	x := BuildMatrix(headers)
+
+	r := s.cfg.Rank
+	k := s.cfg.Centroids
+	if k > n {
+		k = n
+	}
+	d, err := linalg.ComputeSVD(x)
+	if err != nil {
+		return nil, fmt.Errorf("summary: svd: %w", err)
+	}
+	ur, sr, vr, err := d.Truncate(r)
+	if err != nil {
+		return nil, fmt.Errorf("summary: truncate: %w", err)
+	}
+
+	if PreferSplit(r, k, packet.NumFields) {
+		// Split: cluster the rows of U_r (packets in reduced space).
+		res, err := linalg.KMeans(ur, k, s.rng, linalg.KMeansConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("summary: kmeans: %w", err)
+		}
+		return &Summary{
+			Kind:        KindSplit,
+			MonitorID:   monitorID,
+			Epoch:       epoch,
+			BatchSize:   n,
+			Rank:        r,
+			Centroids:   res.Centroids,
+			Counts:      res.Counts,
+			Sigma:       sr,
+			V:           vr,
+			Assignments: res.Assignments,
+		}, nil
+	}
+
+	// Combined: reconstruct X̄_p = U_r·Σ_r·V_rᵀ, then cluster it.
+	xp := reconstructRankR(ur, sr, vr)
+	res, err := linalg.KMeans(xp, k, s.rng, linalg.KMeansConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("summary: kmeans: %w", err)
+	}
+	return &Summary{
+		Kind:        KindCombined,
+		MonitorID:   monitorID,
+		Epoch:       epoch,
+		BatchSize:   n,
+		Rank:        r,
+		Centroids:   res.Centroids,
+		Counts:      res.Counts,
+		Assignments: res.Assignments,
+	}, nil
+}
+
+// reconstructRankR multiplies U_r·diag(S_r)·V_rᵀ.
+func reconstructRankR(ur *linalg.Matrix, sr []float64, vr *linalg.Matrix) *linalg.Matrix {
+	n, r := ur.Rows(), ur.Cols()
+	p := vr.Rows()
+	out := linalg.NewMatrix(n, p)
+	for i := 0; i < n; i++ {
+		ui := ur.Row(i)
+		oi := out.Row(i)
+		for t := 0; t < r; t++ {
+			us := ui[t] * sr[t]
+			if us == 0 {
+				continue
+			}
+			for j := 0; j < p; j++ {
+				oi[j] += us * vr.At(j, t)
+			}
+		}
+	}
+	return out
+}
+
+// ApproximationError returns ‖X̄ − R·Bᵀ‖_F / ‖X̄‖_F: the relative error of
+// representing each packet of the batch by its centroid (Eq. 4). It is a
+// diagnostic used by tests and the compression experiments.
+func ApproximationError(headers []packet.Header, s *Summary) (float64, error) {
+	x := BuildMatrix(headers)
+	reps, err := s.Representatives()
+	if err != nil {
+		return 0, err
+	}
+	if len(s.Assignments) != x.Rows() {
+		return 0, fmt.Errorf("summary: %d assignments for %d packets", len(s.Assignments), x.Rows())
+	}
+	var num float64
+	for i := 0; i < x.Rows(); i++ {
+		num += linalg.SquaredDistance(x.Row(i), reps.Row(s.Assignments[i]))
+	}
+	den := x.FrobeniusNorm()
+	if den == 0 {
+		return 0, nil
+	}
+	return math.Sqrt(num) / den, nil
+}

@@ -1,0 +1,85 @@
+package trafficgen
+
+import (
+	"math/rand"
+
+	"repro/internal/rules"
+)
+
+// MixConfig controls how attack traffic is blended into background
+// traffic, reproducing §8's methodology: attack volume is throttled to a
+// cap of the overall traffic (10 % for all attacks except Sockstress,
+// which is stealthy and needs far fewer packets).
+type MixConfig struct {
+	// Seed drives the interleaving.
+	Seed int64
+	// AttackFraction caps the attack share of total packets (0.10 in
+	// the paper). Zero selects the per-attack default.
+	AttackFraction float64
+}
+
+// defaultAttackFraction returns the paper's cap for an attack.
+func defaultAttackFraction(id rules.AttackID) float64 {
+	if id == rules.AttackSockstress {
+		// Sockstress succeeds with a trickle; 5 % keeps it stealthy
+		// (half the cap of the volumetric attacks) while its
+		// zero-window mass stays observable in a batch.
+		return 0.05
+	}
+	return 0.10
+}
+
+// Mixer interleaves one attack into a background stream at a capped
+// rate, tracking ground truth labels.
+type Mixer struct {
+	bg     *Background
+	attack Attack
+	rng    *rand.Rand
+	frac   float64
+
+	produced int
+	attacked int
+}
+
+// NewMixer builds a mixer. A nil attack produces pure background.
+func NewMixer(bg *Background, attack Attack, cfg MixConfig) *Mixer {
+	frac := cfg.AttackFraction
+	if frac <= 0 {
+		if attack != nil {
+			frac = defaultAttackFraction(attack.ID())
+		}
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return &Mixer{bg: bg, attack: attack, rng: rand.New(rand.NewSource(cfg.Seed)), frac: frac}
+}
+
+// Next produces the next labeled packet. The attack share is enforced as
+// a hard cap: an attack packet is only emitted while attacked/produced
+// stays at or below the configured fraction, mirroring the paper's
+// quota-enforcing attack scripts.
+func (m *Mixer) Next() LabeledPacket {
+	m.produced++
+	if m.attack != nil {
+		withinQuota := float64(m.attacked+1)/float64(m.produced) <= m.frac
+		if withinQuota && m.rng.Float64() < m.frac*1.5 {
+			m.attacked++
+			return LabeledPacket{Header: m.attack.Next(), Label: LabelAttack, Attack: string(m.attack.ID())}
+		}
+	}
+	return LabeledPacket{Header: m.bg.Next(), Label: LabelBenign}
+}
+
+// Batch produces n labeled packets.
+func (m *Mixer) Batch(n int) []LabeledPacket {
+	out := make([]LabeledPacket, n)
+	for i := range out {
+		out[i] = m.Next()
+	}
+	return out
+}
+
+// Stats reports the number of packets produced and how many were attack
+// packets.
+func (m *Mixer) Stats() (produced, attacked int) { return m.produced, m.attacked }

@@ -10,9 +10,11 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/rules"
@@ -251,5 +253,104 @@ func BenchmarkRuleTranslation(b *testing.B) {
 		if _, err := rules.LibraryQuestions(env, rules.DefaultTranslateConfig()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSVDTruncated measures the zero-allocation truncated SVD path
+// used by batch summarization: caller-held outputs plus a reused Scratch,
+// so steady-state allocs/op should be zero.
+func BenchmarkSVDTruncated(b *testing.B) {
+	bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(4))
+	x := summary.BuildMatrix(bg.Batch(1000))
+	const r = 12
+	ur := linalg.NewMatrix(x.Rows(), r)
+	sr := make([]float64, r)
+	vr := linalg.NewMatrix(x.Cols(), r)
+	sc := linalg.GetScratch()
+	defer linalg.PutScratch(sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Reset()
+		if err := linalg.TruncatedSVDInto(x, r, ur, sr, vr, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKMeans measures the clustering cost at the paper's k=200
+// operating point across worker counts: the Lloyd assignment step fans
+// out across the pool while seeding and centroid updates stay sequential,
+// so every worker count computes identical clusters.
+func BenchmarkKMeans(b *testing.B) {
+	bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(5))
+	x := summary.BuildMatrix(bg.Batch(1000))
+	const k = 200
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			out := linalg.NewMatrix(k, x.Cols())
+			assign := make([]int, x.Rows())
+			counts := make([]int, k)
+			sc := linalg.GetScratch()
+			defer linalg.PutScratch(sc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.Reset()
+				rng := rand.New(rand.NewSource(int64(i)))
+				cfg := linalg.KMeansConfig{Workers: w}
+				if _, _, err := linalg.KMeansInto(x, k, rng, cfg, sc, out, assign, counts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineEpochParallel measures one controller tick — polling
+// 8 monitors, each flushing and summarizing a 500-packet batch, then one
+// inference round — across worker counts for the epoch fan-out. The
+// ingest is excluded from the timer; the measured region is RunEpoch.
+func BenchmarkPipelineEpochParallel(b *testing.B) {
+	env := experiments.Env()
+	qs, err := rules.LibraryQuestions(env, rules.DefaultTranslateConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const monitors = 8
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p, err := core.NewPipeline(core.PipelineConfig{
+				NumMonitors: monitors,
+				// BatchSize above the per-epoch ingest so no batch seals
+				// during the (untimed) ingest; the flush inside RunEpoch
+				// does the summarization we want to measure.
+				Summary: summary.Config{BatchSize: 4000, Rank: 12, Centroids: 100, MinBatch: 100, Seed: 7},
+				Controller: core.ControllerConfig{
+					Env:       env,
+					Questions: qs,
+					Workers:   w,
+				},
+				Workers: w,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(6))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for m := 0; m < monitors; m++ {
+					if err := p.Monitors[m].IngestBatch(bg.Batch(500)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if _, err := p.RunEpoch(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

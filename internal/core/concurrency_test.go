@@ -60,6 +60,84 @@ func TestMonitorConcurrentIngestAndPoll(t *testing.T) {
 	wg.Wait()
 }
 
+// TestMonitorIngestDuringSummarizeWindow stresses the lock-free
+// summarize window: several ingest goroutines keep feeding the monitor
+// while a collector loop forces flush summarizations, finer-granularity
+// re-summarizations and epoch advances. The monitor releases mu during
+// every SVD+k-means, so ingest and compute genuinely overlap; the packet
+// conservation check at the end proves no header is lost or double
+// counted across the snapshot/summarize/publish handoff. Run with -race.
+func TestMonitorIngestDuringSummarizeWindow(t *testing.T) {
+	cfg := summary.Config{BatchSize: 150, Rank: 8, Centroids: 30, MinBatch: 40, Seed: 2}
+	m, err := NewMonitor(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		ingesters   = 3
+		perIngester = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(seed))
+			for i := 0; i < perIngester; i++ {
+				if err := m.Ingest(bg.Next()); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}(int64(60 + g))
+	}
+	go func() {
+		wg.Wait()
+		close(stop)
+	}()
+
+	summarized := 0
+	collect := func() {
+		ss, _, err := m.CollectSummaries()
+		if err != nil {
+			t.Errorf("collect: %v", err)
+			return
+		}
+		for _, s := range ss {
+			summarized += s.BatchSize
+			// Hit the retained batch from the same goroutine the
+			// controller would: finer re-summarization plus raw fetches
+			// race the in-flight ingests.
+			if _, err := m.FinerSummary(s.Epoch, cfg.Centroids+10); err != nil {
+				t.Errorf("finer: %v", err)
+				return
+			}
+			m.RawPackets(s.Epoch, 0)
+		}
+	}
+	for done := false; !done; {
+		select {
+		case <-stop:
+			done = true
+		default:
+		}
+		collect()
+		m.AdvanceEpoch()
+	}
+	// Drain what sealed after the last in-loop collection.
+	collect()
+
+	m.mu.Lock()
+	pending := m.buf.Pending()
+	m.mu.Unlock()
+	if got := summarized + pending; got != ingesters*perIngester {
+		t.Fatalf("packet conservation: summarized %d + pending %d = %d, want %d",
+			summarized, pending, got, ingesters*perIngester)
+	}
+}
+
 // TestControllerConcurrentEpochs runs inference rounds from multiple
 // goroutines against a shared controller; stats and alerts must stay
 // consistent. Run with -race.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/inference"
 	"repro/internal/packet"
+	"repro/internal/par"
 	"repro/internal/rules"
 	"repro/internal/snort"
 	"repro/internal/summary"
@@ -30,6 +31,9 @@ type Controller struct {
 	// useFeedback enables the two-stage path for attacks with a
 	// feedback config.
 	useFeedback bool
+	// workers bounds the per-question fan-out of ProcessEpoch
+	// (0 = GOMAXPROCS).
+	workers int
 
 	mu      sync.Mutex
 	sources map[int]RawSource
@@ -90,6 +94,11 @@ type ControllerConfig struct {
 	Feedback map[rules.AttackID]inference.FeedbackConfig
 	// UseFeedback enables the §5.3 two-stage path.
 	UseFeedback bool
+	// Workers bounds how many questions ProcessEpoch evaluates
+	// concurrently; zero selects GOMAXPROCS, 1 forces the sequential
+	// sweep. Results merge in sorted attack-ID order, so alerts are
+	// identical for every worker count.
+	Workers int
 }
 
 // NewController builds a controller.
@@ -107,6 +116,7 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		questions:   cfg.Questions,
 		feedback:    cfg.Feedback,
 		useFeedback: cfg.UseFeedback,
+		workers:     cfg.Workers,
 		sources:     make(map[int]RawSource),
 	}, nil
 }
@@ -122,19 +132,25 @@ func (c *Controller) RegisterSource(monitorID int, src RawSource) {
 // fetcher adapts the controller's source registry to
 // inference.RawPacketFetcher, memoizing within one inference round so
 // several questions pulling the same uncertain centroid cost one
-// transfer (and are accounted once).
+// transfer (and are accounted once). It is shared by the concurrently
+// evaluated questions of one round: the mutex spans lookup and fetch so
+// a centroid's raw packets are pulled exactly once no matter which
+// questions race for them, keeping the accounting deterministic.
 type fetcher struct {
-	c     *Controller
+	c *Controller
+
+	mu    sync.Mutex
 	memo  map[inference.CentroidRef][]packet.Header
-	bytes *int // deduplicated raw-header count for stats
+	bytes int // deduplicated raw-header count for stats
 }
 
 func newFetcher(c *Controller) *fetcher {
-	n := 0
-	return &fetcher{c: c, memo: make(map[inference.CentroidRef][]packet.Header), bytes: &n}
+	return &fetcher{c: c, memo: make(map[inference.CentroidRef][]packet.Header)}
 }
 
 func (f *fetcher) FetchRaw(ref inference.CentroidRef) ([]packet.Header, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if hs, ok := f.memo[ref]; ok {
 		return hs, nil
 	}
@@ -146,7 +162,7 @@ func (f *fetcher) FetchRaw(ref inference.CentroidRef) ([]packet.Header, error) {
 	}
 	hs := src.RawPackets(ref.Epoch, ref.Centroid)
 	f.memo[ref] = hs
-	*f.bytes += len(hs)
+	f.bytes += len(hs)
 	return hs, nil
 }
 
@@ -166,40 +182,58 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 	c.stats.PacketsSummarized += agg.TotalPackets
 	c.mu.Unlock()
 
-	var alerts []*inference.Alert
 	matcher := snort.RawMatcher{Env: c.env}
 	fet := newFetcher(c)
 
-	// Deterministic evaluation order.
+	// Deterministic evaluation order: question evaluation fans out across
+	// the worker pool, but each question writes only its own result slot
+	// and alerts are assembled sequentially in sorted attack-ID order, so
+	// the output is identical for every worker count.
 	ids := make([]rules.AttackID, 0, len(c.questions))
 	for id := range c.questions {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
-	for _, id := range ids {
+	type qresult struct {
+		match *inference.MatchResult
+		fb    *inference.FeedbackResult
+		err   error
+	}
+	results := make([]qresult, len(ids))
+	par.For(len(ids), c.workers, func(i int) {
+		id := ids[i]
 		q := c.questions[id]
 		fb, hasFB := c.feedback[id]
 		if c.useFeedback && hasFB {
 			res, err := inference.RunFeedback(agg, q, fb, fet, matcher)
-			if err != nil {
-				return nil, err
-			}
-			if res.Alerted {
-				alerts = append(alerts, inference.NewAlertFromFeedback(id, epoch, res))
+			results[i] = qresult{fb: res, err: err}
+			return
+		}
+		results[i] = qresult{match: inference.EstimateSimilarity(agg, q)}
+	})
+
+	var alerts []*inference.Alert
+	for i, id := range ids {
+		r := results[i]
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.fb != nil {
+			if r.fb.Alerted {
+				alerts = append(alerts, inference.NewAlertFromFeedback(id, epoch, r.fb))
 			}
 			continue
 		}
-		m := inference.EstimateSimilarity(agg, q)
-		if m.Alerted() {
-			alerts = append(alerts, inference.NewAlertFromMatch(id, epoch, m))
+		if r.match.Alerted() {
+			alerts = append(alerts, inference.NewAlertFromMatch(id, epoch, r.match))
 		}
 	}
 
 	c.mu.Lock()
 	c.alerts = append(c.alerts, alerts...)
 	c.stats.AlertsRaised += len(alerts)
-	c.stats.RawPacketsFetched += *fet.bytes
+	c.stats.RawPacketsFetched += fet.bytes
 	c.mu.Unlock()
 	return alerts, nil
 }

@@ -18,18 +18,29 @@ import (
 // controller's feedback loop can fetch them (§4, §7).
 //
 // Monitor is safe for concurrent use: packet ingestion and controller
-// requests may arrive on different goroutines.
+// requests may arrive on different goroutines. Two locks split the
+// state so the heavy compute never blocks ingestion: mu guards the
+// cheap bookkeeping (buffer, ready queue, load counter) and is held
+// only for O(1) work, while szrMu serializes the summarizer (which owns
+// the k-means RNG). A batch is snapshotted under mu, summarized holding
+// only szrMu — so Ingest on other goroutines proceeds during the
+// SVD+k-means — and the result is published back under mu.
 type Monitor struct {
 	id int
 
-	mu         sync.Mutex
-	buf        *summary.Buffer
-	summarizer *summary.Summarizer
-	// ready holds summaries of sealed batches not yet shipped.
+	// mu guards buf, ready and load. The SVD+k-means compute is never
+	// performed while holding it.
+	mu    sync.Mutex
+	buf   *summary.Buffer
 	ready []*summary.Summary
 	// load tracks packets ingested in the current load window,
 	// answering the flow-assignment module's load queries.
 	load int
+
+	// szrMu serializes use of the summarizer, whose RNG and arena make
+	// it single-goroutine.
+	szrMu      sync.Mutex
+	summarizer *summary.Summarizer
 }
 
 // NewMonitor builds a monitor with the given summarization config.
@@ -50,16 +61,18 @@ func (m *Monitor) ID() int { return m.id }
 
 // Ingest feeds one packet header through the monitor. When the header
 // seals a batch, the batch is summarized immediately and the summary is
-// queued for the next controller poll.
+// queued for the next controller poll. The summarization itself runs
+// outside mu, so concurrent Ingest calls keep buffering while one
+// goroutine computes.
 func (m *Monitor) Ingest(h packet.Header) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.load++
 	batch, ok := m.buf.Add(h)
+	m.mu.Unlock()
 	if !ok {
 		return nil
 	}
-	return m.summarizeLocked(batch)
+	return m.summarize(batch)
 }
 
 // IngestBatch feeds many headers.
@@ -72,15 +85,22 @@ func (m *Monitor) IngestBatch(hs []packet.Header) error {
 	return nil
 }
 
-// summarizeLocked summarizes a sealed batch and retains its raw packets.
-// Callers hold m.mu.
-func (m *Monitor) summarizeLocked(batch *summary.Batch) error {
+// summarize computes the summary of a sealed batch lock-free with
+// respect to mu (only szrMu is held during the SVD+k-means), then
+// publishes the result — raw-packet retention plus the ready queue —
+// under mu. The sealed batch is already snapshotted out of the buffer,
+// so concurrent Ingest/Collect operations cannot observe it half-built.
+func (m *Monitor) summarize(batch *summary.Batch) error {
+	m.szrMu.Lock()
 	s, err := m.summarizer.Summarize(batch.Headers, m.id, batch.Epoch)
+	m.szrMu.Unlock()
 	if err != nil {
 		return fmt.Errorf("monitor %d: %w", m.id, err)
 	}
+	m.mu.Lock()
 	m.buf.Retain(batch, s)
 	m.ready = append(m.ready, s)
+	m.mu.Unlock()
 	return nil
 }
 
@@ -88,19 +108,30 @@ func (m *Monitor) summarizeLocked(batch *summary.Batch) error {
 // buffer holds at least MinBatch unsealed packets, they are flushed and
 // summarized too (the controller-initiated poll of §5.1); below MinBatch
 // the monitor declines to summarize the partial batch and reports the
-// pending count.
+// pending count. The flush summarization runs outside mu like every
+// other summarization, so a poll does not stall ingestion.
 func (m *Monitor) CollectSummaries() (ss []*summary.Summary, pending int, err error) {
+	minBatch := m.summarizer.Config().MinBatch
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.buf.Pending() >= m.summarizer.Config().MinBatch && m.buf.Pending() > 0 {
-		batch := m.buf.Flush()
-		if err := m.summarizeLocked(batch); err != nil {
-			return nil, m.buf.Pending(), err
+	var batch *summary.Batch
+	if m.buf.Pending() >= minBatch && m.buf.Pending() > 0 {
+		batch = m.buf.Flush()
+	}
+	m.mu.Unlock()
+	if batch != nil {
+		if err := m.summarize(batch); err != nil {
+			m.mu.Lock()
+			pending = m.buf.Pending()
+			m.mu.Unlock()
+			return nil, pending, err
 		}
 	}
+	m.mu.Lock()
 	ss = m.ready
 	m.ready = nil
-	return ss, m.buf.Pending(), nil
+	pending = m.buf.Pending()
+	m.mu.Unlock()
+	return ss, pending, nil
 }
 
 // RawPackets serves the feedback loop: the raw headers assigned to the
@@ -116,16 +147,21 @@ func (m *Monitor) RawPackets(epoch uint64, centroid int) []packet.Header {
 // cheaper than shipping raw packets when the controller only needs more
 // centroids, not exact bytes. It returns nil when the batch has expired
 // or k is not an improvement over the original summary.
+//
+// Only the raw-batch snapshot happens under mu; the re-summarization
+// itself runs lock-free on a throwaway summarizer (it must not consume
+// the main summarizer's RNG), so a feedback-loop refinement no longer
+// blocks Ingest for the duration of an SVD+k-means run.
 func (m *Monitor) FinerSummary(epoch uint64, k int) (*summary.Summary, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	headers := m.buf.RawBatch(epoch)
-	if headers == nil {
-		return nil, nil
-	}
 	cfg := m.summarizer.Config()
 	if k <= cfg.Centroids {
 		return nil, fmt.Errorf("monitor %d: finer summary needs k > %d, got %d", m.id, cfg.Centroids, k)
+	}
+	m.mu.Lock()
+	headers := m.buf.RawBatch(epoch)
+	m.mu.Unlock()
+	if headers == nil {
+		return nil, nil
 	}
 	cfg.Centroids = k
 	cfg.BatchSize = len(headers)

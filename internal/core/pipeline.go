@@ -6,6 +6,7 @@ import (
 	"repro/internal/flowassign"
 	"repro/internal/inference"
 	"repro/internal/packet"
+	"repro/internal/par"
 	"repro/internal/summary"
 )
 
@@ -17,6 +18,9 @@ type Pipeline struct {
 	Controller *Controller
 	Assigner   *flowassign.Assigner
 
+	// workers bounds the concurrency of the per-monitor fan-out in
+	// RunEpoch (0 = GOMAXPROCS).
+	workers int
 	// flowToMonitor caches placements so subsequent packets of a flow
 	// go to the same monitor.
 	flowToMonitor map[packet.FlowKey]int
@@ -36,6 +40,11 @@ type PipelineConfig struct {
 	// group containing every monitor is used (all flows can be seen by
 	// any monitor), which suits single-site experiments.
 	Groups *flowassign.GroupTable
+	// Workers bounds how many monitors RunEpoch polls concurrently;
+	// zero selects GOMAXPROCS, 1 forces the sequential poll. Summaries
+	// are joined in monitor order, so every worker count yields
+	// identical epochs for the same seed and traffic.
+	Workers int
 }
 
 // NewPipeline builds and wires the system.
@@ -49,6 +58,7 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	}
 	p := &Pipeline{
 		Controller:    ctrl,
+		workers:       cfg.Workers,
 		flowToMonitor: make(map[packet.FlowKey]int),
 		monitorIndex:  make(map[int]int),
 	}
@@ -116,12 +126,22 @@ func (p *Pipeline) IngestBatch(hs []packet.Header) error {
 // RunEpoch polls every monitor for summaries, advances their epochs, and
 // runs one inference round, returning the raised alerts. It is the
 // 2-second controller tick of §7 condensed into one call.
+//
+// The monitor polls — each of which may summarize a flushed batch —
+// fan out across a bounded worker pool (PipelineConfig.Workers), the
+// epoch's dominant compute. The per-monitor results are joined in
+// monitor index order before inference, so the aggregate (and with it
+// every alert and figure) is identical for any worker count.
 func (p *Pipeline) RunEpoch() ([]*inference.Alert, error) {
+	perMon := make([][]*summary.Summary, len(p.Monitors))
+	errs := make([]error, len(p.Monitors))
+	par.For(len(p.Monitors), p.workers, func(i int) {
+		perMon[i], _, errs[i] = p.Monitors[i].CollectSummaries()
+	})
 	var all []*summary.Summary
-	for _, m := range p.Monitors {
-		ss, _, err := m.CollectSummaries()
-		if err != nil {
-			return nil, err
+	for i, ss := range perMon {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
 		all = append(all, ss...)
 	}

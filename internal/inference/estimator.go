@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/packet"
+	"repro/internal/par"
 	"repro/internal/rules"
 )
 
@@ -172,9 +173,18 @@ func MatchedVariance(agg *Aggregate, rows []int, field packet.FieldIndex) float6
 // EvaluateAll runs every question against the aggregate and returns the
 // per-question results keyed by attack/rule evaluation order.
 func EvaluateAll(agg *Aggregate, qs []*rules.Question) []*MatchResult {
+	return EvaluateAllParallel(agg, qs, 1)
+}
+
+// EvaluateAllParallel is EvaluateAll with the question×centroid matching
+// fanned out across up to workers goroutines (0 = GOMAXPROCS). Each
+// question is independent and reads the aggregate immutably, so result i
+// is always the evaluation of qs[i] — the output is identical to the
+// sequential sweep for every worker count.
+func EvaluateAllParallel(agg *Aggregate, qs []*rules.Question, workers int) []*MatchResult {
 	out := make([]*MatchResult, len(qs))
-	for i, q := range qs {
-		out[i] = EstimateSimilarity(agg, q)
-	}
+	par.For(len(qs), workers, func(i int) {
+		out[i] = EstimateSimilarity(agg, qs[i])
+	})
 	return out
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/par"
 )
 
 // KMeansResult holds the output of a k-means clustering run.
@@ -33,6 +35,11 @@ type KMeansConfig struct {
 	// Tolerance stops iteration once the relative improvement of the
 	// objective drops below it. Zero or negative selects 1e-6.
 	Tolerance float64
+	// Workers bounds the parallelism of the Lloyd assignment step; zero
+	// or negative selects GOMAXPROCS. Rows are assigned independently
+	// and the objective is reduced in row order, so every worker count
+	// produces bit-identical results.
+	Workers int
 }
 
 func (c KMeansConfig) withDefaults() KMeansConfig {
@@ -62,52 +69,84 @@ func KMeans(x *Matrix, k int, rng *rand.Rand, cfg KMeansConfig) (*KMeansResult, 
 	if rng == nil {
 		return nil, fmt.Errorf("linalg: nil rng")
 	}
+	n, p := x.Rows(), x.Cols()
+	if k > n {
+		k = n
+	}
+	res := &KMeansResult{
+		Centroids:   NewMatrix(k, p),
+		Assignments: make([]int, n),
+		Counts:      make([]int, k),
+	}
+	sc := GetScratch()
+	inertia, iters, err := KMeansInto(x, k, rng, cfg, sc, res.Centroids, res.Assignments, res.Counts)
+	PutScratch(sc)
+	if err != nil {
+		return nil, err
+	}
+	res.Inertia = inertia
+	res.Iterations = iters
+	return res, nil
+}
+
+// KMeansInto is the allocation-free core of KMeans: it clusters the rows
+// of x into k ≤ x.Rows() clusters, writing the centroids into out (k×p),
+// the per-row assignments into assign (length n) and the cluster sizes
+// into counts (length k). Every intermediate — the k-means++ distance
+// vector, the ping-pong centroid buffers and the per-row best distances
+// — comes from sc, which is carved (never Reset) so the caller may share
+// one Scratch across the whole summarization of a batch. It returns the
+// final objective value and the Lloyd iteration count.
+//
+// The assignment step fans row chunks out over the shared worker pool
+// (cfg.Workers goroutines); counts and the objective are then reduced
+// sequentially in row order, so results are bit-identical for every
+// worker count. Seeding stays sequential on rng.
+func KMeansInto(x *Matrix, k int, rng *rand.Rand, cfg KMeansConfig, sc *Scratch, out *Matrix, assign []int, counts []int) (inertia float64, iters int, err error) {
+	if x.Rows() == 0 || x.Cols() == 0 {
+		return 0, 0, ErrEmptyMatrix
+	}
+	if k < 1 {
+		return 0, 0, fmt.Errorf("linalg: k must be ≥ 1, got %d", k)
+	}
+	if rng == nil {
+		return 0, 0, fmt.Errorf("linalg: nil rng")
+	}
+	n, p := x.Rows(), x.Cols()
+	if k > n {
+		return 0, 0, fmt.Errorf("linalg: k = %d exceeds %d rows", k, n)
+	}
+	if out.rows != k || out.cols != p || len(assign) != n || len(counts) != k {
+		return 0, 0, fmt.Errorf("linalg: k-means outputs %dx%d/%d/%d do not fit %dx%d k=%d",
+			out.rows, out.cols, len(assign), len(counts), n, p, k)
+	}
 	cfg = cfg.withDefaults()
 
-	n, p := x.Rows(), x.Cols()
-	if k >= n {
+	if k == n {
 		// Degenerate case: each row is its own representative.
-		res := &KMeansResult{
-			Centroids:   x.Clone(),
-			Assignments: make([]int, n),
-			Counts:      make([]int, n),
-		}
+		copy(out.data, x.data)
 		for i := 0; i < n; i++ {
-			res.Assignments[i] = i
-			res.Counts[i] = 1
+			assign[i] = i
+			counts[i] = 1
 		}
-		return res, nil
+		return 0, 0, nil
 	}
 
-	centroids := seedPlusPlus(x, k, rng)
-	assign := make([]int, n)
-	counts := make([]int, k)
+	cur := sc.Matrix(k, p)
+	seedPlusPlus(x, cur, rng, sc)
+	next := sc.Matrix(k, p)
+	dist := sc.Floats(n)
 	prevObj := math.Inf(1)
 	var obj float64
-	iters := 0
 
 	for ; iters < cfg.MaxIterations; iters++ {
 		// Assignment step.
-		obj = 0
-		for i := range counts {
-			counts[i] = 0
-		}
-		for i := 0; i < n; i++ {
-			row := x.Row(i)
-			best, bestD := 0, math.Inf(1)
-			for c := 0; c < k; c++ {
-				d := SquaredDistance(row, centroids.Row(c))
-				if d < bestD {
-					best, bestD = c, d
-				}
-			}
-			assign[i] = best
-			counts[best]++
-			obj += bestD
-		}
+		obj = assignRows(x, cur, assign, dist, counts, cfg.Workers)
 
 		// Update step.
-		next := NewMatrix(k, p)
+		for i := range next.data {
+			next.data[i] = 0
+		}
 		for i := 0; i < n; i++ {
 			c := assign[i]
 			nr := next.Row(c)
@@ -121,7 +160,7 @@ func KMeans(x *Matrix, k int, rng *rand.Rand, cfg KMeansConfig) (*KMeansResult, 
 				// its centroid, a standard Lloyd repair step.
 				far, farD := 0, -1.0
 				for i := 0; i < n; i++ {
-					d := SquaredDistance(x.Row(i), centroids.Row(assign[i]))
+					d := SquaredDistance(x.Row(i), cur.Row(assign[i]))
 					if d > farD {
 						far, farD = i, d
 					}
@@ -135,7 +174,7 @@ func KMeans(x *Matrix, k int, rng *rand.Rand, cfg KMeansConfig) (*KMeansResult, 
 				nr[j] *= inv
 			}
 		}
-		centroids = next
+		cur, next = next, cur
 
 		if prevObj-obj <= cfg.Tolerance*math.Max(prevObj, 1) {
 			iters++
@@ -145,45 +184,59 @@ func KMeans(x *Matrix, k int, rng *rand.Rand, cfg KMeansConfig) (*KMeansResult, 
 	}
 
 	// Final assignment against the last centroid update.
-	obj = 0
-	for i := range counts {
-		counts[i] = 0
-	}
-	for i := 0; i < n; i++ {
-		row := x.Row(i)
-		best, bestD := 0, math.Inf(1)
-		for c := 0; c < k; c++ {
-			d := SquaredDistance(row, centroids.Row(c))
-			if d < bestD {
-				best, bestD = c, d
-			}
-		}
-		assign[i] = best
-		counts[best]++
-		obj += bestD
-	}
+	obj = assignRows(x, cur, assign, dist, counts, cfg.Workers)
+	copy(out.data, cur.data)
+	return obj, iters, nil
+}
 
-	return &KMeansResult{
-		Centroids:   centroids,
-		Assignments: assign,
-		Counts:      counts,
-		Inertia:     obj,
-		Iterations:  iters,
-	}, nil
+// assignRows runs one Lloyd assignment step: each row of x gets its
+// nearest centroid. The per-row searches are independent and fan out
+// over the worker pool in fixed chunks; the reduction of counts and the
+// objective then runs sequentially in row order, so the returned
+// objective is bit-identical no matter how the chunks were scheduled.
+func assignRows(x, cents *Matrix, assign []int, dist []float64, counts []int, workers int) float64 {
+	n := x.Rows()
+	k := cents.Rows()
+	par.Rows(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Row(i)
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				d := SquaredDistance(row, cents.Row(c))
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			dist[i] = bestD
+		}
+	})
+	for c := range counts {
+		counts[c] = 0
+	}
+	var obj float64
+	for i := 0; i < n; i++ {
+		counts[assign[i]]++
+		obj += dist[i]
+	}
+	return obj
 }
 
 // seedPlusPlus picks k initial centroids with the k-means++ D² weighting:
 // the first uniformly at random, each subsequent one with probability
 // proportional to its squared distance to the nearest centroid so far.
-func seedPlusPlus(x *Matrix, k int, rng *rand.Rand) *Matrix {
-	n, p := x.Rows(), x.Cols()
-	centroids := NewMatrix(k, p)
+// The centroids are written into cur (k×p); d² scratch comes from sc.
+// Seeding is strictly sequential: every draw consumes rng in a fixed
+// order, which is what keeps same-seed runs reproducible (§4.3).
+func seedPlusPlus(x *Matrix, cur *Matrix, rng *rand.Rand, sc *Scratch) {
+	n := x.Rows()
+	k := cur.Rows()
 	first := rng.Intn(n)
-	copy(centroids.Row(0), x.Row(first))
+	copy(cur.Row(0), x.Row(first))
 
-	d2 := make([]float64, n)
+	d2 := sc.Floats(n)
 	for i := 0; i < n; i++ {
-		d2[i] = SquaredDistance(x.Row(i), centroids.Row(0))
+		d2[i] = SquaredDistance(x.Row(i), cur.Row(0))
 	}
 	for c := 1; c < k; c++ {
 		var total float64
@@ -207,12 +260,11 @@ func seedPlusPlus(x *Matrix, k int, rng *rand.Rand) *Matrix {
 				}
 			}
 		}
-		copy(centroids.Row(c), x.Row(pick))
+		copy(cur.Row(c), x.Row(pick))
 		for i := 0; i < n; i++ {
-			if d := SquaredDistance(x.Row(i), centroids.Row(c)); d < d2[i] {
+			if d := SquaredDistance(x.Row(i), cur.Row(c)); d < d2[i] {
 				d2[i] = d
 			}
 		}
 	}
-	return centroids
 }

@@ -60,6 +60,18 @@ func NewMatrixFromData(rows, cols int, data []float64) (*Matrix, error) {
 	return &Matrix{rows: rows, cols: cols, data: data}, nil
 }
 
+// WrapMatrix is the value-typed sibling of NewMatrixFromData: it returns
+// a Matrix header (no heap allocation) wrapping the given row-major
+// backing slice, for callers that embed the header inside a larger
+// struct to keep allocation counts down. It panics when len(data) does
+// not equal rows*cols; callers control both.
+func WrapMatrix(rows, cols int, data []float64) Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return Matrix{rows: rows, cols: cols, data: data}
+}
+
 // Rows returns the number of rows.
 func (m *Matrix) Rows() int { return m.rows }
 

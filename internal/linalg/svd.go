@@ -3,7 +3,6 @@ package linalg
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // SVD holds a thin singular value decomposition A = U·diag(S)·Vᵀ of an
@@ -44,10 +43,29 @@ func ComputeSVD(a *Matrix) (*SVD, error) {
 		}
 		return &SVD{U: svdT.V, S: svdT.S, V: svdT.U}, nil
 	}
-
 	n, p := a.Rows(), a.Cols()
-	w := a.Clone() // working copy whose columns get orthogonalized
-	v := identity(p)
+	u := NewMatrix(n, p)
+	s := make([]float64, p)
+	v := NewMatrix(p, p)
+	sc := GetScratch()
+	svdInto(a, p, u, s, v, sc)
+	PutScratch(sc)
+	return &SVD{U: u, S: s, V: v}, nil
+}
+
+// svdInto runs one-sided Jacobi on a (which must satisfy rows ≥ cols)
+// and writes the leading r factors into u (n×r), s (length r) and v
+// (p×r). All intermediates — the working copy, the rotation accumulator
+// and the column-norm ordering — come from sc, so the only heap traffic
+// is whatever the caller chose for the outputs.
+func svdInto(a *Matrix, r int, u *Matrix, s []float64, v *Matrix, sc *Scratch) {
+	n, p := a.Rows(), a.Cols()
+	w := sc.Matrix(n, p) // working copy whose columns get orthogonalized
+	copy(w.data, a.data)
+	vAcc := sc.Matrix(p, p)
+	for i := 0; i < p; i++ {
+		vAcc.data[i*p+i] = 1
+	}
 
 	// Convergence threshold on the normalized off-diagonal inner products.
 	const eps = 1e-12
@@ -75,9 +93,9 @@ func ComputeSVD(a *Matrix) (*SVD, error) {
 				zeta := (akk - ajj) / (2 * ajk)
 				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
 				c := 1 / math.Sqrt(1+t*t)
-				s := c * t
-				rotateColumns(w, j, k, c, s)
-				rotateColumns(v, j, k, c, s)
+				sn := c * t
+				rotateColumns(w, j, k, c, sn)
+				rotateColumns(vAcc, j, k, c, sn)
 			}
 		}
 		if converged {
@@ -85,38 +103,98 @@ func ComputeSVD(a *Matrix) (*SVD, error) {
 		}
 	}
 
-	// Column norms of W are the singular values.
-	type colNorm struct {
-		idx  int
-		norm float64
-	}
-	norms := make([]colNorm, p)
+	// Column norms of W are the singular values. Order them descending
+	// with a stable insertion sort (p ≤ 18 in practice): stable sorts
+	// yield a unique permutation, so this matches the sort.SliceStable
+	// ordering the decomposition historically used.
+	ord := sc.Ints(p)
+	nrm := sc.Floats(p)
 	for j := 0; j < p; j++ {
 		var ss float64
 		for i := 0; i < n; i++ {
 			cv := w.data[i*p+j]
 			ss += cv * cv
 		}
-		norms[j] = colNorm{idx: j, norm: math.Sqrt(ss)}
+		nrm[j] = math.Sqrt(ss)
+		ord[j] = j
 	}
-	sort.SliceStable(norms, func(i, j int) bool { return norms[i].norm > norms[j].norm })
+	for i := 1; i < p; i++ {
+		o := ord[i]
+		key := nrm[o]
+		j := i
+		for j > 0 && nrm[ord[j-1]] < key {
+			ord[j] = ord[j-1]
+			j--
+		}
+		ord[j] = o
+	}
 
-	u := NewMatrix(n, p)
-	s := make([]float64, p)
-	vOut := NewMatrix(p, p)
-	for out, cn := range norms {
-		s[out] = cn.norm
-		if cn.norm > 0 {
-			inv := 1 / cn.norm
+	for out := 0; out < r; out++ {
+		j := ord[out]
+		s[out] = nrm[j]
+		if nrm[j] > 0 {
+			inv := 1 / nrm[j]
 			for i := 0; i < n; i++ {
-				u.data[i*p+out] = w.data[i*p+cn.idx] * inv
+				u.data[i*u.cols+out] = w.data[i*p+j] * inv
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				u.data[i*u.cols+out] = 0
 			}
 		}
 		for i := 0; i < p; i++ {
-			vOut.data[i*p+out] = v.data[i*p+cn.idx]
+			v.data[i*v.cols+out] = vAcc.data[i*p+j]
 		}
 	}
-	return &SVD{U: u, S: s, V: vOut}, nil
+}
+
+// TruncatedSVDInto computes the leading-r factors of the thin SVD of a
+// directly into caller-provided storage — ur (n×r), sr (length r), vr
+// (p×r) — using sc for every intermediate. It is the zero-allocation
+// path behind batch summarization: the caller typically hands in slab-
+// backed outputs and a pooled Scratch, so the decomposition itself does
+// not touch the heap. Requires 1 ≤ r ≤ min(n, p); matrices with more
+// columns than rows fall back to the allocating transpose path.
+func TruncatedSVDInto(a *Matrix, r int, ur *Matrix, sr []float64, vr *Matrix, sc *Scratch) error {
+	if a.Rows() == 0 || a.Cols() == 0 {
+		return ErrEmptyMatrix
+	}
+	n, p := a.Rows(), a.Cols()
+	m := n
+	if p < m {
+		m = p
+	}
+	if r < 1 || r > m {
+		return fmt.Errorf("linalg: truncation rank %d out of range [1,%d]", r, m)
+	}
+	if ur.rows != n || ur.cols != r || vr.rows != p || vr.cols != r || len(sr) != r {
+		return fmt.Errorf("linalg: truncated SVD outputs %dx%d/%d/%dx%d do not fit %dx%d rank %d",
+			ur.rows, ur.cols, len(sr), vr.rows, vr.cols, n, p, r)
+	}
+	if p > n {
+		d, err := ComputeSVD(a)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			copy(ur.Row(i), d.U.Row(i)[:r])
+		}
+		for i := 0; i < p; i++ {
+			copy(vr.Row(i), d.V.Row(i)[:r])
+		}
+		copy(sr, d.S[:r])
+		return nil
+	}
+	svdInto(a, r, ur, sr, vr, sc)
+	return nil
+}
+
+func identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
 }
 
 // rotateColumns applies the Givens rotation [c −s; s c] to columns j and k
@@ -129,14 +207,6 @@ func rotateColumns(m *Matrix, j, k int, c, s float64) {
 		m.data[i*p+j] = c*cj - s*ck
 		m.data[i*p+k] = s*cj + c*ck
 	}
-}
-
-func identity(n int) *Matrix {
-	m := NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		m.data[i*n+i] = 1
-	}
-	return m
 }
 
 // Rank returns the numerical rank of the decomposition: the number of

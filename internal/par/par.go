@@ -1,0 +1,161 @@
+// Package par provides the hand-rolled, stdlib-only worker pool behind
+// Jaal's parallel summarization engine.
+//
+// The pool is shared process-wide and sized to runtime.GOMAXPROCS at
+// first use: GOMAXPROCS−1 helper goroutines plus the dispatching
+// goroutine, which always participates in its own work. Work is handed
+// out as fixed-size index chunks claimed from an atomic counter, so the
+// split of work never depends on the worker count — a caller that
+// stores per-index results and reduces them in index order gets
+// byte-identical output whether the work ran on 1 worker or 64. That
+// property is what lets the summarization pipeline parallelize the
+// Lloyd assignment step, monitor polling and question matching while
+// keeping same-seed runs reproducible (see DESIGN.md, "Performance").
+//
+// Dispatch is allocation-free in steady state: task descriptors are
+// recycled through a sync.Pool and handed to helpers over a buffered
+// channel with non-blocking sends — a saturated pool degrades to the
+// dispatcher doing the work itself, so nested dispatches (a monitor
+// fan-out whose summarization fans out k-means row chunks) can never
+// deadlock.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// rowChunk is the fixed number of indices a worker claims at a time in
+// Rows. Fixed (rather than n/workers) chunking keeps the work split
+// independent of the worker count; 64 rows of k-means assignment at the
+// paper's operating point is ~150k flops, well above claim overhead.
+const rowChunk = 64
+
+// minParallelRows is the row count below which dispatch overhead
+// exceeds the win and Rows runs inline on the caller.
+const minParallelRows = 256
+
+// task is one dispatch, shared by every worker helping with it.
+type task struct {
+	fn    func(lo, hi int)
+	n     int
+	chunk int
+	next  atomic.Int64
+	wg    sync.WaitGroup
+}
+
+// run claims chunks until the counter passes n. Several goroutines run
+// the same task concurrently; each chunk is claimed exactly once.
+func (t *task) run() {
+	step := int64(t.chunk)
+	for {
+		hi := int(t.next.Add(step))
+		lo := hi - t.chunk
+		if lo >= t.n {
+			return
+		}
+		if hi > t.n {
+			hi = t.n
+		}
+		t.fn(lo, hi)
+	}
+}
+
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+var (
+	startOnce sync.Once
+	queue     chan *task
+	poolSize  int
+)
+
+// start lazily spins up the shared helpers. With GOMAXPROCS == 1 no
+// helpers exist and every dispatch runs inline.
+func start() {
+	startOnce.Do(func() {
+		poolSize = runtime.GOMAXPROCS(0)
+		queue = make(chan *task, 8*poolSize)
+		for i := 0; i < poolSize-1; i++ {
+			go func() {
+				for t := range queue {
+					t.run()
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// Size returns the pool's parallelism: GOMAXPROCS at first use.
+func Size() int {
+	start()
+	return poolSize
+}
+
+// dispatch fans fn out over ceil(n/chunk) chunks across at most workers
+// goroutines including the caller, blocking until all of [0, n) has run.
+func dispatch(n, workers, chunk int, fn func(lo, hi int)) {
+	start()
+	if workers <= 0 || workers > poolSize {
+		workers = poolSize
+	}
+	if chunks := (n + chunk - 1) / chunk; workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	t := taskPool.Get().(*task)
+	t.fn, t.n, t.chunk = fn, n, chunk
+	t.next.Store(0)
+	helpers := workers - 1
+	t.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		select {
+		case queue <- t:
+		default:
+			// Every helper is busy; shed the slot rather than block —
+			// the dispatcher below still completes the task alone.
+			t.wg.Done()
+		}
+	}
+	t.run()
+	t.wg.Wait()
+	t.fn = nil
+	taskPool.Put(t)
+}
+
+// Rows runs fn over half-open sub-ranges that exactly cover [0, n),
+// fanning fixed-size chunks across the shared pool. workers bounds the
+// parallelism including the calling goroutine; workers <= 0 selects
+// GOMAXPROCS. fn must be safe for concurrent calls on disjoint ranges.
+// Because the chunking is fixed, which rows share one fn call never
+// depends on the worker count — callers reducing per-row outputs should
+// still merge them in index order to stay deterministic.
+func Rows(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if n < minParallelRows {
+		fn(0, n)
+		return
+	}
+	dispatch(n, workers, rowChunk, fn)
+}
+
+// For runs fn(i) once for every i in [0, n) across at most workers
+// goroutines (workers <= 0 selects GOMAXPROCS), dispatching one index
+// at a time. It suits coarse, heterogeneous tasks — polling a monitor,
+// matching one question — where per-index imbalance dominates.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	dispatch(n, workers, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRowsCoversExactly checks every index in [0, n) is visited exactly
+// once, across the inline path, the chunked path, and ragged tails.
+func TestRowsCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 255, 256, 257, 1000, 4096} {
+		for _, workers := range []int{0, 1, 2, 8} {
+			hits := make([]int32, n)
+			Rows(n, workers, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("n=%d workers=%d: bad range [%d,%d)", n, workers, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestForCoversExactly checks the per-index variant.
+func TestForCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, workers := range []int{0, 1, 3} {
+			hits := make([]int32, n)
+			For(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestNestedDispatch drives a fan-out whose work items themselves fan
+// out — the epoch shape (monitor poll → k-means rows). Non-blocking
+// queue sends plus dispatcher participation must complete it even with
+// the pool saturated. Run with -race.
+func TestNestedDispatch(t *testing.T) {
+	const outer, inner = 8, 1024
+	var total atomic.Int64
+	For(outer, 0, func(i int) {
+		Rows(inner, 0, func(lo, hi int) {
+			total.Add(int64(hi - lo))
+		})
+	})
+	if got := total.Load(); got != outer*inner {
+		t.Fatalf("nested dispatch covered %d indices, want %d", got, outer*inner)
+	}
+}
+
+// TestChunkingIndependentOfWorkers locks in the determinism foundation:
+// the set of (lo, hi) ranges Rows hands out depends only on n, never on
+// the worker count.
+func TestChunkingIndependentOfWorkers(t *testing.T) {
+	const n = 1000
+	ranges := func(workers int) map[int]int {
+		var mu sync.Mutex
+		out := make(map[int]int, n/rowChunk+1)
+		Rows(n, workers, func(lo, hi int) {
+			mu.Lock()
+			out[lo] = hi
+			mu.Unlock()
+		})
+		return out
+	}
+	want := ranges(1)
+	for _, workers := range []int{2, 4, 0} {
+		got := ranges(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d chunks, want %d", workers, len(got), len(want))
+		}
+		for lo, hi := range want {
+			if got[lo] != hi {
+				t.Fatalf("workers=%d: chunk at %d ends %d, want %d", workers, lo, got[lo], hi)
+			}
+		}
+	}
+}

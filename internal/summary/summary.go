@@ -131,6 +131,13 @@ type Summary struct {
 	// monitor-local state — never transmitted — and backs the
 	// centroid→raw-packets table used by the feedback loop (§7).
 	Assignments []int
+
+	// centroidStore and vStore back Centroids and V when the summarizer
+	// inlines the matrix headers into the Summary itself instead of
+	// allocating them separately — part of keeping a batch summarization
+	// at ~zero heap allocations. Summaries built elsewhere (e.g. the
+	// codec) leave them unused.
+	centroidStore, vStore linalg.Matrix
 }
 
 // K returns the number of centroids in the summary.
@@ -190,6 +197,46 @@ var ErrBatchTooSmall = errors.New("summary: batch smaller than configured minimu
 type Summarizer struct {
 	cfg Config
 	rng *rand.Rand
+	mem arena
+}
+
+// arenaBatch is how many summaries' worth of retained storage one arena
+// chunk holds. Batching the slab allocations amortizes the per-summary
+// heap traffic to ~3/arenaBatch allocations; a chunk is garbage once
+// every summary carved from it has expired (retention is two epochs),
+// so the memory overhead per monitor stays bounded by a few batches.
+const arenaBatch = 8
+
+// arena batch-allocates the retained outputs of summaries — the float
+// slab (centroids, Σ, V), the int slab (counts, assignments) and the
+// Summary struct itself. Unlike linalg.Scratch it is never reset:
+// carved memory is owned by the summaries handed to callers, and chunks
+// are simply abandoned to the garbage collector once exhausted.
+type arena struct {
+	floats []float64
+	ints   []int
+	sums   []Summary
+}
+
+// take carves one summary's retained storage: nf float64s, ni ints and
+// a zeroed Summary.
+func (a *arena) take(nf, ni int) ([]float64, []int, *Summary) {
+	if len(a.floats) < nf {
+		a.floats = make([]float64, arenaBatch*nf)
+	}
+	fs := a.floats[:nf:nf]
+	a.floats = a.floats[nf:]
+	if len(a.ints) < ni {
+		a.ints = make([]int, arenaBatch*ni)
+	}
+	is := a.ints[:ni:ni]
+	a.ints = a.ints[ni:]
+	if len(a.sums) == 0 {
+		a.sums = make([]Summary, arenaBatch)
+	}
+	s := &a.sums[0]
+	a.sums = a.sums[1:]
+	return fs, is, s
 }
 
 // NewSummarizer validates cfg and returns a ready Summarizer.
@@ -216,70 +263,99 @@ func BuildMatrix(headers []packet.Header) *linalg.Matrix {
 // Summarize produces the summary of one batch, picking the smaller of the
 // combined and split encodings. The monitor/epoch labels are stamped into
 // the result. It returns ErrBatchTooSmall when len(headers) < MinBatch.
+//
+// The whole computation runs on reused storage: intermediates (the batch
+// matrix, SVD working state, k-means buffers) live in a pooled
+// linalg.Scratch, and the retained outputs are carved from the
+// summarizer's arena, so steady-state summarization performs well under
+// one heap allocation per batch (BenchmarkSummarizeBatch). The heavy
+// inner loops (Lloyd assignment) additionally fan out across the shared
+// worker pool with deterministic reduction, so summaries are
+// reproducible by seed regardless of core count.
 func (s *Summarizer) Summarize(headers []packet.Header, monitorID int, epoch uint64) (*Summary, error) {
 	n := len(headers)
 	if n < s.cfg.MinBatch || n == 0 {
 		return nil, fmt.Errorf("%w: %d < %d", ErrBatchTooSmall, n, s.cfg.MinBatch)
 	}
-	x := BuildMatrix(headers)
+	sc := linalg.GetScratch()
+	defer linalg.PutScratch(sc)
+
+	p := packet.NumFields
+	x := sc.Matrix(n, p)
+	for i := range headers {
+		headers[i].NormalizedVector(x.Row(i))
+	}
 
 	r := s.cfg.Rank
 	k := s.cfg.Centroids
 	if k > n {
 		k = n
 	}
-	d, err := linalg.ComputeSVD(x)
-	if err != nil {
-		return nil, fmt.Errorf("summary: svd: %w", err)
-	}
-	ur, sr, vr, err := d.Truncate(r)
-	if err != nil {
-		return nil, fmt.Errorf("summary: truncate: %w", err)
-	}
 
-	if PreferSplit(r, k, packet.NumFields) {
+	if PreferSplit(r, k, p) {
 		// Split: cluster the rows of U_r (packets in reduced space).
-		res, err := linalg.KMeans(ur, k, s.rng, linalg.KMeansConfig{})
-		if err != nil {
+		// Retained storage — the k×r centroids, Σ_r, the p×r V and the
+		// counts/assignments — comes from the arena as two slabs.
+		slabF, slabI, sum := s.mem.take(k*r+r+p*r, k+n)
+		sigma := slabF[k*r : k*r+r]
+		sum.centroidStore = linalg.WrapMatrix(k, r, slabF[:k*r])
+		sum.vStore = linalg.WrapMatrix(p, r, slabF[k*r+r:])
+		counts, assign := slabI[:k:k], slabI[k:]
+
+		ur := sc.Matrix(n, r)
+		if err := linalg.TruncatedSVDInto(x, r, ur, sigma, &sum.vStore, sc); err != nil {
+			return nil, fmt.Errorf("summary: svd: %w", err)
+		}
+		if _, _, err := linalg.KMeansInto(ur, k, s.rng, linalg.KMeansConfig{}, sc, &sum.centroidStore, assign, counts); err != nil {
 			return nil, fmt.Errorf("summary: kmeans: %w", err)
 		}
-		return &Summary{
-			Kind:        KindSplit,
-			MonitorID:   monitorID,
-			Epoch:       epoch,
-			BatchSize:   n,
-			Rank:        r,
-			Centroids:   res.Centroids,
-			Counts:      res.Counts,
-			Sigma:       sr,
-			V:           vr,
-			Assignments: res.Assignments,
-		}, nil
+		sum.Kind = KindSplit
+		sum.MonitorID = monitorID
+		sum.Epoch = epoch
+		sum.BatchSize = n
+		sum.Rank = r
+		sum.Centroids = &sum.centroidStore
+		sum.Counts = counts
+		sum.Sigma = sigma
+		sum.V = &sum.vStore
+		sum.Assignments = assign
+		return sum, nil
 	}
 
-	// Combined: reconstruct X̄_p = U_r·Σ_r·V_rᵀ, then cluster it.
-	xp := reconstructRankR(ur, sr, vr)
-	res, err := linalg.KMeans(xp, k, s.rng, linalg.KMeansConfig{})
-	if err != nil {
+	// Combined: reconstruct X̄_p = U_r·Σ_r·V_rᵀ, then cluster it. Only
+	// the k×p centroids and the counts/assignments are retained; the
+	// factors and the reconstruction are scratch intermediates.
+	slabF, slabI, sum := s.mem.take(k*p, k+n)
+	sum.centroidStore = linalg.WrapMatrix(k, p, slabF)
+	counts, assign := slabI[:k:k], slabI[k:]
+
+	ur := sc.Matrix(n, r)
+	sr := sc.Floats(r)
+	vr := sc.Matrix(p, r)
+	if err := linalg.TruncatedSVDInto(x, r, ur, sr, vr, sc); err != nil {
+		return nil, fmt.Errorf("summary: svd: %w", err)
+	}
+	xp := sc.Matrix(n, p)
+	reconstructRankRInto(ur, sr, vr, xp)
+	if _, _, err := linalg.KMeansInto(xp, k, s.rng, linalg.KMeansConfig{}, sc, &sum.centroidStore, assign, counts); err != nil {
 		return nil, fmt.Errorf("summary: kmeans: %w", err)
 	}
-	return &Summary{
-		Kind:        KindCombined,
-		MonitorID:   monitorID,
-		Epoch:       epoch,
-		BatchSize:   n,
-		Rank:        r,
-		Centroids:   res.Centroids,
-		Counts:      res.Counts,
-		Assignments: res.Assignments,
-	}, nil
+	sum.Kind = KindCombined
+	sum.MonitorID = monitorID
+	sum.Epoch = epoch
+	sum.BatchSize = n
+	sum.Rank = r
+	sum.Centroids = &sum.centroidStore
+	sum.Counts = counts
+	sum.Assignments = assign
+	return sum, nil
 }
 
-// reconstructRankR multiplies U_r·diag(S_r)·V_rᵀ.
-func reconstructRankR(ur *linalg.Matrix, sr []float64, vr *linalg.Matrix) *linalg.Matrix {
+// reconstructRankRInto multiplies U_r·diag(S_r)·V_rᵀ into out (n×p),
+// which must be zeroed — scratch buffers are handed out zeroed.
+func reconstructRankRInto(ur *linalg.Matrix, sr []float64, vr *linalg.Matrix, out *linalg.Matrix) {
 	n, r := ur.Rows(), ur.Cols()
 	p := vr.Rows()
-	out := linalg.NewMatrix(n, p)
 	for i := 0; i < n; i++ {
 		ui := ur.Row(i)
 		oi := out.Row(i)
@@ -293,7 +369,6 @@ func reconstructRankR(ur *linalg.Matrix, sr []float64, vr *linalg.Matrix) *linal
 			}
 		}
 	}
-	return out
 }
 
 // ApproximationError returns ‖X̄ − R·Bᵀ‖_F / ‖X̄‖_F: the relative error of

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Full local check: vet, build, and the test suite under the race
+# detector. The parallel summarization engine (internal/par and its
+# callers) is exactly the kind of code -race exists for, so this is the
+# gate to run before sending changes.
+set -e
+cd "$(dirname "$0")/.."
+go vet ./...
+go build ./...
+go test -race ./...

@@ -8,6 +8,13 @@
 //
 //	jaal-controller -monitors host1:7101,host2:7101 [-epoch 2s]
 //	                [-home 10.0.0.0/8] [-feedback]
+//	                [-obs :9100] [-epochlog controller.jsonl]
+//
+// -obs enables metric collection and serves Prometheus-text
+// GET /metrics plus net/http/pprof on the given address (default off);
+// the jaal_controller_compression_ratio gauge there is the live
+// Fig. 12 overhead-vs-raw view. -epochlog appends one JSON record per
+// inference round.
 package main
 
 import (
@@ -15,11 +22,13 @@ import (
 	"log"
 	"net"
 	"net/netip"
+	"os"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/inference"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/summary"
 )
@@ -34,8 +43,27 @@ func main() {
 		tau2        = flag.Float64("tau2", 0.12, "feedback second-stage threshold τ_d2")
 		count2      = flag.Float64("count2", 0.55, "feedback second-stage τ_c relaxation (0–1]")
 		volume      = flag.Int("volume", 4000, "expected packets per epoch (scales volumetric count thresholds)")
+		obsAddr     = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (empty = observability off)")
+		epochLog    = flag.String("epochlog", "", "append JSON-lines epoch log to this file (empty = off)")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		addr, err := obs.Serve(*obsAddr)
+		if err != nil {
+			log.Fatalf("jaal-controller: obs: %v", err)
+		}
+		log.Printf("observability on %s (/metrics, /debug/pprof)", addr)
+	}
+	var epochLogger *obs.EpochLogger
+	if *epochLog != "" {
+		f, err := os.OpenFile(*epochLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("jaal-controller: epochlog: %v", err)
+		}
+		defer f.Close()
+		epochLogger = obs.NewEpochLogger(f)
+	}
 
 	prefix, err := netip.ParsePrefix(*home)
 	if err != nil {
@@ -96,6 +124,7 @@ func main() {
 	ticker := time.NewTicker(*epoch)
 	defer ticker.Stop()
 	for range ticker.C {
+		pollStart := time.Now()
 		var all []*summary.Summary
 		for _, rm := range remotes {
 			ss, err := rm.PollSummaries(ctrl.Epoch())
@@ -105,6 +134,8 @@ func main() {
 			}
 			all = append(all, ss...)
 		}
+		pollDur := time.Since(pollStart)
+		inferStart := time.Now()
 		alerts, err := ctrl.ProcessEpoch(all)
 		if err != nil {
 			log.Printf("inference: %v", err)
@@ -114,6 +145,12 @@ func main() {
 			log.Printf("%s", a)
 		}
 		st := ctrl.Stats()
+		epochLogger.Log("controller", ctrl.Epoch()-1,
+			obs.KV{K: "summaries", V: len(all)},
+			obs.KV{K: "alerts", V: len(alerts)},
+			obs.KV{K: "poll_ms", V: pollDur},
+			obs.KV{K: "infer_ms", V: time.Since(inferStart)},
+			obs.KV{K: "overhead_fraction", V: st.OverheadFraction()})
 		log.Printf("epoch %d: %d summaries, %d packets summarized, overhead %.1f%% of raw",
 			ctrl.Epoch()-1, len(all), st.PacketsSummarized, 100*st.OverheadFraction())
 	}

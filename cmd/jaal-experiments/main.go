@@ -20,11 +20,13 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale for a fast smoke pass")
+	stats := flag.Bool("stats", false, "collect runtime metrics and print the observability summary table to stderr")
 	topoNum := flag.Int("topology", 1, "topology for fig7/fig9: 1 (Abovenet-like) or 2 (Exodus-like)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: jaal-experiments [-quick] <fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|headline|varest|adaptive|multiwindow|encoding|coverage|sketchcost|batchsize|all>\n")
@@ -52,9 +54,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Metrics are a write-only side channel: -stats never changes the
+	// tables printed on stdout, only appends the summary on stderr.
+	obs.SetEnabled(*stats)
+
 	if err := run(flag.Arg(0), sc, *quick, top); err != nil {
 		fmt.Fprintf(os.Stderr, "jaal-experiments: %v\n", err)
 		os.Exit(1)
+	}
+	if *stats {
+		obs.WriteTable(os.Stderr)
 	}
 }
 

@@ -7,6 +7,12 @@
 //
 //	jaal-monitor -listen :7101 -id 0 [-batch 1000] [-rank 12] [-k 200]
 //	             [-trace 1] [-attack distributed_syn_flood] [-pps 5000]
+//	             [-obs :9101] [-epochlog monitor.jsonl]
+//
+// -obs enables metric collection and serves Prometheus-text
+// GET /metrics plus net/http/pprof on the given address (default off).
+// -epochlog appends one JSON record per summary poll with stage
+// timings and queue depths.
 //
 // The monitor synthesizes background traffic continuously (standing in
 // for a tap on a production link) and optionally mixes in a labeled
@@ -20,7 +26,10 @@ import (
 	"net"
 	"time"
 
+	"os"
+
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/summary"
 	"repro/internal/trafficgen"
@@ -28,17 +37,36 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", ":7101", "address to serve the controller on")
-		id     = flag.Int("id", 0, "monitor ID")
-		batch  = flag.Int("batch", 1000, "batch size n")
-		rank   = flag.Int("rank", 12, "retained SVD rank r")
-		k      = flag.Int("k", 200, "number of centroids k")
-		nmin   = flag.Int("nmin", 600, "minimum batch size n_min")
-		trace  = flag.Int64("trace", 1, "background trace seed (1 or 2)")
-		attack = flag.String("attack", "", "attack to inject (empty = clean traffic)")
-		pps    = flag.Int("pps", 5000, "synthesized packets per second")
+		listen   = flag.String("listen", ":7101", "address to serve the controller on")
+		id       = flag.Int("id", 0, "monitor ID")
+		batch    = flag.Int("batch", 1000, "batch size n")
+		rank     = flag.Int("rank", 12, "retained SVD rank r")
+		k        = flag.Int("k", 200, "number of centroids k")
+		nmin     = flag.Int("nmin", 600, "minimum batch size n_min")
+		trace    = flag.Int64("trace", 1, "background trace seed (1 or 2)")
+		attack   = flag.String("attack", "", "attack to inject (empty = clean traffic)")
+		pps      = flag.Int("pps", 5000, "synthesized packets per second")
+		obsAddr  = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (empty = observability off)")
+		epochLog = flag.String("epochlog", "", "append JSON-lines epoch log to this file (empty = off)")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		addr, err := obs.Serve(*obsAddr)
+		if err != nil {
+			log.Fatalf("jaal-monitor: obs: %v", err)
+		}
+		log.Printf("observability on %s (/metrics, /debug/pprof)", addr)
+	}
+	var epochLogger *obs.EpochLogger
+	if *epochLog != "" {
+		f, err := os.OpenFile(*epochLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("jaal-monitor: epochlog: %v", err)
+		}
+		defer f.Close()
+		epochLogger = obs.NewEpochLogger(f)
+	}
 
 	mon, err := core.NewMonitor(*id, summary.Config{
 		BatchSize: *batch, Rank: *rank, Centroids: *k, MinBatch: *nmin, Seed: int64(*id) + 1,
@@ -78,7 +106,7 @@ func main() {
 	log.Printf("jaal-monitor %d listening on %s (batch=%d rank=%d k=%d attack=%q)",
 		*id, ln.Addr(), *batch, *rank, *k, *attack)
 
-	srv := &core.MonitorServer{Monitor: mon}
+	srv := &core.MonitorServer{Monitor: mon, EpochLog: epochLogger}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {

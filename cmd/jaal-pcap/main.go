@@ -30,6 +30,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/pcap"
 	"repro/internal/rules"
@@ -156,7 +157,9 @@ func runDetect(args []string) error {
 	k := fs.Int("k", 200, "centroids k")
 	home := fs.String("home", "10.0.0.0/8", "HOME_NET prefix")
 	epochVolume := fs.Int("epoch", 4000, "packets per inference epoch")
+	stats := fs.Bool("stats", false, "collect runtime metrics and print the observability summary table to stderr")
 	fs.Parse(args)
+	obs.SetEnabled(*stats)
 
 	prefix, err := netip.ParsePrefix(*home)
 	if err != nil {
@@ -276,6 +279,9 @@ func runDetect(args []string) error {
 		fmt.Printf("ground truth (%s): detected in %d of %d attack epochs (%.0f%%)\n",
 			labels.Attack, detectedAttackEpochs, attackEpochs,
 			100*float64(detectedAttackEpochs)/float64(attackEpochs))
+	}
+	if *stats {
+		obs.WriteTable(os.Stderr)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/inference"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/par"
 	"repro/internal/rules"
@@ -169,6 +170,7 @@ func (f *fetcher) FetchRaw(ref inference.CentroidRef) ([]packet.Header, error) {
 // ProcessEpoch runs one inference round over the summaries collected
 // from all monitors and returns the alerts raised (§5.1–§5.3).
 func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Alert, error) {
+	defer obs.StartSpan(hEpochSeconds).End()
 	agg, err := inference.AggregateSummaries(summaries)
 	if err != nil {
 		return nil, err
@@ -181,6 +183,9 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 	c.stats.SummaryElements += agg.Elements
 	c.stats.PacketsSummarized += agg.TotalPackets
 	c.mu.Unlock()
+	cEpochs.Inc()
+	cSummaryElements.Add(int64(agg.Elements))
+	cPacketsSummarized.Add(int64(agg.TotalPackets))
 
 	matcher := snort.RawMatcher{Env: c.env}
 	fet := newFetcher(c)
@@ -220,12 +225,14 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 			return nil, r.err
 		}
 		if r.fb != nil {
+			countVerdict(r.fb.Verdict)
 			if r.fb.Alerted {
 				alerts = append(alerts, inference.NewAlertFromFeedback(id, epoch, r.fb))
 			}
 			continue
 		}
 		if r.match.Alerted() {
+			cSimMatches.Inc()
 			alerts = append(alerts, inference.NewAlertFromMatch(id, epoch, r.match))
 		}
 	}
@@ -234,7 +241,12 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 	c.alerts = append(c.alerts, alerts...)
 	c.stats.AlertsRaised += len(alerts)
 	c.stats.RawPacketsFetched += fet.bytes
+	stats := c.stats
 	c.mu.Unlock()
+	cQuestions.Add(int64(len(ids)))
+	cAlerts.Add(int64(len(alerts)))
+	cFeedbackPulls.Add(int64(fet.bytes))
+	gCompression.Set(stats.OverheadFraction())
 	return alerts, nil
 }
 

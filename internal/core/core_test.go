@@ -15,7 +15,7 @@ import (
 
 // testQuestions translates the library at the low-FPR operating point
 // and rescales the count thresholds to the test's epoch volume.
-func testQuestions(t *testing.T, volume int) map[rules.AttackID]*rules.Question {
+func testQuestions(t testing.TB, volume int) map[rules.AttackID]*rules.Question {
 	t.Helper()
 	env := rules.NewEnvironment()
 	env.Set("HOME_NET", netip.MustParsePrefix("10.0.0.0/8"))

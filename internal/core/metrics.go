@@ -1,0 +1,83 @@
+package core
+
+import (
+	"repro/internal/inference"
+	"repro/internal/obs"
+)
+
+// Core observability: monitor ingest/summarize activity, controller
+// inference outcomes, and the live communication-overhead view. Every
+// metric is a write-only side channel — nothing here feeds back into
+// routing, summarization or inference, so same-seed runs are
+// byte-identical with collection on or off
+// (TestPipelineObsDeterminism).
+var (
+	// Monitor side.
+	cIngestPackets = obs.NewCounter("jaal_monitor_ingest_packets_total",
+		"packet headers ingested across all monitors")
+	cBatchesSealed = obs.NewCounter("jaal_monitor_batches_sealed_total",
+		"batches sealed by reaching the configured batch size n")
+	cBatchesFlushed = obs.NewCounter("jaal_monitor_batches_flushed_total",
+		"partial batches flushed by a controller poll (>= n_min pending)")
+	cSummariesQueued = obs.NewCounter("jaal_monitor_summaries_total",
+		"summaries produced and queued for collection")
+	gPendingPackets = obs.NewIntGauge("jaal_monitor_pending_packets",
+		"unsealed packets buffered at the last collected monitor")
+	cRawServed = obs.NewCounter("jaal_monitor_raw_packets_served_total",
+		"raw headers served to the feedback loop")
+	cFinerSummaries = obs.NewCounter("jaal_monitor_finer_summaries_total",
+		"finer-granularity re-summarizations served (§5.3)")
+
+	// Controller side.
+	cEpochs = obs.NewCounter("jaal_controller_epochs_total",
+		"inference rounds executed")
+	hEpochSeconds = obs.NewHistogram("jaal_controller_epoch_seconds",
+		"wall time of one inference round (aggregate + all questions)", obs.DurationBuckets())
+	cQuestions = obs.NewCounter("jaal_controller_questions_total",
+		"question evaluations across all epochs")
+	cAlerts = obs.NewCounter("jaal_controller_alerts_total",
+		"alerts raised")
+	cSimMatches = obs.NewCounter("jaal_controller_similarity_matches_total",
+		"single-stage similarity matches that alerted (τ_c and τ_d met)")
+	cFeedbackPulls = obs.NewCounter("jaal_controller_feedback_raw_packets_total",
+		"deduplicated raw headers pulled by the feedback loop")
+	cVerdictAlert = obs.NewCounter("jaal_controller_feedback_verdicts_total{verdict=\"alert\"}",
+		"feedback-loop verdicts by case (§5.3)")
+	cVerdictClear = obs.NewCounter("jaal_controller_feedback_verdicts_total{verdict=\"clear\"}",
+		"feedback-loop verdicts by case (§5.3)")
+	cVerdictUncertain = obs.NewCounter("jaal_controller_feedback_verdicts_total{verdict=\"uncertain\"}",
+		"feedback-loop verdicts by case (§5.3)")
+	cVerdictAnomalous = obs.NewCounter("jaal_controller_feedback_verdicts_total{verdict=\"anomalous\"}",
+		"feedback-loop verdicts by case (§5.3)")
+
+	// Communication accounting — the live Fig. 12 view. The gauge is
+	// (summary + feedback bytes) / equivalent raw-header bytes, i.e.
+	// Stats.OverheadFraction updated every epoch; reading ~0.35 at the
+	// paper's operating point means the deployment matches §8.
+	cSummaryElements = obs.NewCounter("jaal_controller_summary_elements_total",
+		"summary elements received (4 wire bytes each)")
+	cPacketsSummarized = obs.NewCounter("jaal_controller_packets_summarized_total",
+		"raw packets the received summaries stand for")
+	gCompression = obs.NewGauge("jaal_controller_compression_ratio",
+		"cumulative (summary+feedback bytes)/raw-equivalent bytes, the Fig. 12 overhead")
+
+	// Pipeline epoch stages.
+	hCollectSeconds = obs.NewHistogram("jaal_pipeline_collect_seconds",
+		"wall time of one monitor's summary collection during RunEpoch", obs.DurationBuckets())
+	hRunEpochSeconds = obs.NewHistogram("jaal_pipeline_epoch_seconds",
+		"wall time of one full RunEpoch (collect fan-out + inference)", obs.DurationBuckets())
+)
+
+// countVerdict tallies one feedback verdict per §5.3 case.
+func countVerdict(v inference.Verdict) {
+	switch v {
+	case inference.VerdictAlert:
+		cVerdictAlert.Inc()
+	case inference.VerdictClear:
+		cVerdictClear.Inc()
+	case inference.VerdictUncertain:
+		cVerdictUncertain.Inc()
+	default:
+		cVerdictAnomalous.Inc()
+	}
+}

@@ -65,6 +65,7 @@ func (m *Monitor) ID() int { return m.id }
 // outside mu, so concurrent Ingest calls keep buffering while one
 // goroutine computes.
 func (m *Monitor) Ingest(h packet.Header) error {
+	cIngestPackets.Inc()
 	m.mu.Lock()
 	m.load++
 	batch, ok := m.buf.Add(h)
@@ -72,6 +73,7 @@ func (m *Monitor) Ingest(h packet.Header) error {
 	if !ok {
 		return nil
 	}
+	cBatchesSealed.Inc()
 	return m.summarize(batch)
 }
 
@@ -101,6 +103,7 @@ func (m *Monitor) summarize(batch *summary.Batch) error {
 	m.buf.Retain(batch, s)
 	m.ready = append(m.ready, s)
 	m.mu.Unlock()
+	cSummariesQueued.Inc()
 	return nil
 }
 
@@ -119,6 +122,7 @@ func (m *Monitor) CollectSummaries() (ss []*summary.Summary, pending int, err er
 	}
 	m.mu.Unlock()
 	if batch != nil {
+		cBatchesFlushed.Inc()
 		if err := m.summarize(batch); err != nil {
 			m.mu.Lock()
 			pending = m.buf.Pending()
@@ -131,6 +135,7 @@ func (m *Monitor) CollectSummaries() (ss []*summary.Summary, pending int, err er
 	m.ready = nil
 	pending = m.buf.Pending()
 	m.mu.Unlock()
+	gPendingPackets.Set(int64(pending))
 	return ss, pending, nil
 }
 
@@ -138,8 +143,10 @@ func (m *Monitor) CollectSummaries() (ss []*summary.Summary, pending int, err er
 // given centroid in the given epoch, or nil after expiry.
 func (m *Monitor) RawPackets(epoch uint64, centroid int) []packet.Header {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.buf.RawPackets(epoch, centroid)
+	hs := m.buf.RawPackets(epoch, centroid)
+	m.mu.Unlock()
+	cRawServed.Add(int64(len(hs)))
+	return hs
 }
 
 // FinerSummary re-summarizes a retained batch at a higher resolution —
@@ -170,7 +177,11 @@ func (m *Monitor) FinerSummary(epoch uint64, k int) (*summary.Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	return szr.Summarize(headers, m.id, epoch)
+	fs, err := szr.Summarize(headers, m.id, epoch)
+	if err == nil && fs != nil {
+		cFinerSummaries.Inc()
+	}
+	return fs, err
 }
 
 // AdvanceEpoch rolls the monitor to the next epoch, expiring old raw

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/trafficgen"
+)
+
+// benchEpoch drives one ingest+RunEpoch cycle over pre-generated
+// traffic — the epoch hot path the instrumentation rides on.
+func benchEpoch(b *testing.B, headers []packet.Header) {
+	b.Helper()
+	p, err := NewPipeline(PipelineConfig{
+		NumMonitors: 2,
+		Summary:     smallSummaryConfig(),
+		Controller: ControllerConfig{
+			Env:       testEnv(),
+			Questions: testQuestions(b, len(headers)),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, h := range headers {
+			if err := p.Ingest(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := p.RunEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsOverhead measures the epoch-latency cost of the
+// observability layer: the enabled/disabled delta is the price of
+// always-on metrics (acceptance: ≤2 %), and the disabled case shows
+// instrumentation adds no allocations to the epoch path.
+func BenchmarkObsOverhead(b *testing.B) {
+	bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(21))
+	headers := bg.Batch(2000)
+	b.Run("disabled", func(b *testing.B) {
+		obs.SetEnabled(false)
+		b.ReportAllocs()
+		benchEpoch(b, headers)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		obs.SetEnabled(true)
+		defer func() { obs.SetEnabled(false); obs.ResetAll() }()
+		b.ReportAllocs()
+		benchEpoch(b, headers)
+	})
+}

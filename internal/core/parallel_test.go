@@ -1,10 +1,15 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"runtime"
+	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/trafficgen"
 )
@@ -15,6 +20,12 @@ import (
 // through it, and returns a textual trace of the alerts plus the final
 // stats.
 func runSeededWorkload(t *testing.T, workers int) (string, Stats) {
+	return runSeededWorkloadLog(t, workers, nil)
+}
+
+// runSeededWorkloadLog is runSeededWorkload with an optional epoch-log
+// sink attached to the pipeline.
+func runSeededWorkloadLog(t *testing.T, workers int, epochLog io.Writer) (string, Stats) {
 	t.Helper()
 	p, err := NewPipeline(PipelineConfig{
 		NumMonitors: 4,
@@ -24,7 +35,8 @@ func runSeededWorkload(t *testing.T, workers int) (string, Stats) {
 			Questions: testQuestions(t, 2500),
 			Workers:   workers,
 		},
-		Workers: workers,
+		Workers:  workers,
+		EpochLog: epochLog,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,5 +84,62 @@ func TestPipelineParallelDeterminism(t *testing.T) {
 	}
 	if seqStats.SummaryElements == 0 || seqStats.PacketsSummarized == 0 {
 		t.Fatalf("workload produced no summaries: %+v", seqStats)
+	}
+}
+
+// TestPipelineObsDeterminism locks in the observability layer's hard
+// constraint: metrics, spans and the epoch log are write-only side
+// channels, so the same seeded workload produces byte-identical alerts
+// and identical accounting whether collection is off (the default),
+// enabled, or enabled with an epoch log attached.
+func TestPipelineObsDeterminism(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	offTrace, offStats := runSeededWorkload(t, workers)
+
+	obs.SetEnabled(true)
+	defer func() { obs.SetEnabled(false) }()
+	onTrace, onStats := runSeededWorkload(t, workers)
+
+	var logBuf bytes.Buffer
+	logTrace, logStats := runSeededWorkloadLog(t, workers, &logBuf)
+
+	if offTrace != onTrace {
+		t.Errorf("alert traces differ with observability on vs off:\n--- off ---\n%s--- on ---\n%s",
+			offTrace, onTrace)
+	}
+	if offStats != onStats {
+		t.Errorf("stats differ with observability on vs off: %+v vs %+v", offStats, onStats)
+	}
+	if logTrace != offTrace || logStats != offStats {
+		t.Errorf("epoch logging changed the run: trace match=%v, stats %+v vs %+v",
+			logTrace == offTrace, logStats, offStats)
+	}
+
+	// The epoch log must hold one valid JSON record per epoch per
+	// component: 3 epochs × (4 monitors + 1 controller).
+	lines := strings.Split(strings.TrimSuffix(logBuf.String(), "\n"), "\n")
+	if want := 3 * 5; len(lines) != want {
+		t.Fatalf("epoch log has %d records, want %d:\n%s", len(lines), want, logBuf.String())
+	}
+	components := map[string]int{}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("epoch log line is not valid JSON: %v\n%s", err, line)
+		}
+		comp, _ := rec["component"].(string)
+		components[comp]++
+		if _, ok := rec["epoch"]; !ok {
+			t.Fatalf("epoch log record missing epoch: %s", line)
+		}
+	}
+	if components["monitor"] != 12 || components["controller"] != 3 {
+		t.Fatalf("epoch log component mix = %v, want 12 monitor + 3 controller", components)
+	}
+
+	// With collection enabled the registry must actually have seen the
+	// workload (guards against a silently disabled layer).
+	if rows := obs.Snapshot(); len(rows) == 0 {
+		t.Fatal("observability enabled but no metrics recorded")
 	}
 }

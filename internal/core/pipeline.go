@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"time"
 
 	"repro/internal/flowassign"
 	"repro/internal/inference"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/par"
 	"repro/internal/summary"
@@ -26,6 +29,9 @@ type Pipeline struct {
 	flowToMonitor map[packet.FlowKey]int
 	// monitorIndex maps monitor IDs to slice indices.
 	monitorIndex map[int]int
+	// epochLog receives one structured record per epoch per component;
+	// nil disables logging (the EpochLogger is nil-safe).
+	epochLog *obs.EpochLogger
 }
 
 // PipelineConfig assembles a pipeline.
@@ -45,6 +51,12 @@ type PipelineConfig struct {
 	// are joined in monitor order, so every worker count yields
 	// identical epochs for the same seed and traffic.
 	Workers int
+	// EpochLog, when non-nil, receives the structured JSON-lines epoch
+	// log: one record per epoch per monitor plus one for the
+	// controller, carrying stage timings and queue depths. Logging is
+	// an output-only side channel — alerts and stats are identical
+	// with or without it.
+	EpochLog io.Writer
 }
 
 // NewPipeline builds and wires the system.
@@ -61,6 +73,7 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 		workers:       cfg.Workers,
 		flowToMonitor: make(map[packet.FlowKey]int),
 		monitorIndex:  make(map[int]int),
+		epochLog:      obs.NewEpochLogger(cfg.EpochLog),
 	}
 	var allIDs []flowassign.MonitorID
 	for i := 0; i < cfg.NumMonitors; i++ {
@@ -133,10 +146,26 @@ func (p *Pipeline) IngestBatch(hs []packet.Header) error {
 // monitor index order before inference, so the aggregate (and with it
 // every alert and figure) is identical for any worker count.
 func (p *Pipeline) RunEpoch() ([]*inference.Alert, error) {
+	epochSpan := obs.StartSpan(hRunEpochSeconds)
+	epoch := p.Controller.Epoch()
+	// Stage timings are collected only when someone will read them
+	// (epoch log or metrics); they never influence the epoch itself.
+	timed := p.epochLog != nil || obs.Enabled()
+
 	perMon := make([][]*summary.Summary, len(p.Monitors))
+	pending := make([]int, len(p.Monitors))
+	collectDur := make([]time.Duration, len(p.Monitors))
 	errs := make([]error, len(p.Monitors))
 	par.For(len(p.Monitors), p.workers, func(i int) {
-		perMon[i], _, errs[i] = p.Monitors[i].CollectSummaries()
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
+		perMon[i], pending[i], errs[i] = p.Monitors[i].CollectSummaries()
+		if timed {
+			collectDur[i] = time.Since(start)
+			hCollectSeconds.Observe(collectDur[i].Seconds())
+		}
 	})
 	var all []*summary.Summary
 	for i, ss := range perMon {
@@ -145,6 +174,11 @@ func (p *Pipeline) RunEpoch() ([]*inference.Alert, error) {
 		}
 		all = append(all, ss...)
 	}
+
+	var inferStart time.Time
+	if timed {
+		inferStart = time.Now()
+	}
 	alerts, err := p.Controller.ProcessEpoch(all)
 	if err != nil {
 		return nil, err
@@ -152,5 +186,22 @@ func (p *Pipeline) RunEpoch() ([]*inference.Alert, error) {
 	for _, m := range p.Monitors {
 		m.AdvanceEpoch()
 	}
+
+	if p.epochLog != nil {
+		for i, m := range p.Monitors {
+			p.epochLog.Log("monitor", epoch,
+				obs.KV{K: "id", V: m.ID()},
+				obs.KV{K: "summaries", V: len(perMon[i])},
+				obs.KV{K: "pending", V: pending[i]},
+				obs.KV{K: "collect_ms", V: collectDur[i]})
+		}
+		st := p.Controller.Stats()
+		p.epochLog.Log("controller", epoch,
+			obs.KV{K: "summaries", V: len(all)},
+			obs.KV{K: "alerts", V: len(alerts)},
+			obs.KV{K: "infer_ms", V: time.Since(inferStart)},
+			obs.KV{K: "overhead_fraction", V: st.OverheadFraction()})
+	}
+	epochSpan.End()
 	return alerts, nil
 }

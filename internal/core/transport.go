@@ -6,7 +6,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/summary"
 	"repro/internal/wire"
@@ -17,6 +19,9 @@ import (
 // single long-lived connection (§7).
 type MonitorServer struct {
 	Monitor *Monitor
+	// EpochLog, when non-nil, receives one structured record per
+	// summary poll: the monitor-side epoch log of a wire deployment.
+	EpochLog *obs.EpochLogger
 }
 
 // Serve handles one controller connection until EOF or error. It sends
@@ -50,9 +55,20 @@ func (s *MonitorServer) handle(conn net.Conn, msg *wire.Message) error {
 		if err != nil {
 			return err
 		}
+		var start time.Time
+		if s.EpochLog != nil {
+			start = time.Now()
+		}
 		ss, pending, err := s.Monitor.CollectSummaries()
 		if err != nil && !errors.Is(err, summary.ErrBatchTooSmall) {
 			return err
+		}
+		if s.EpochLog != nil {
+			s.EpochLog.Log("monitor", epoch,
+				obs.KV{K: "id", V: s.Monitor.ID()},
+				obs.KV{K: "summaries", V: len(ss)},
+				obs.KV{K: "pending", V: pending},
+				obs.KV{K: "collect_ms", V: time.Since(start)})
 		}
 		if len(ss) == 0 {
 			return wire.WriteFrame(conn, wire.MsgSummaryDecline,

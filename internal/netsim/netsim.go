@@ -18,7 +18,28 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/topology"
+)
+
+// Simulation observability: per-run link-utilization distribution and
+// the headline loss gauges. Gauges reflect the most recent Run — the
+// live per-tick view when the simulator drives a long scenario —
+// while the counters and histogram accumulate across runs.
+var (
+	cRuns = obs.NewCounter("jaal_netsim_runs_total",
+		"steady-state simulation runs executed")
+	cDemands = obs.NewCounter("jaal_netsim_demands_total",
+		"traffic demands routed across all runs")
+	hLinkUtil = obs.NewHistogram("jaal_netsim_link_utilization",
+		"per-link offered/capacity ratio, observed once per loaded link per run",
+		[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1, 1.25, 1.5, 2, 4, 8})
+	gWorstUtil = obs.NewGauge("jaal_netsim_worst_link_utilization",
+		"max offered/capacity over links in the last run")
+	gThroughputLoss = obs.NewGauge("jaal_netsim_throughput_loss_fraction",
+		"switch-centric normal-traffic throughput loss of the last run (Fig. 7a)")
+	gAccuracyLoss = obs.NewGauge("jaal_netsim_accuracy_loss_fraction",
+		"replicated attack traffic lost before processing in the last run (Fig. 7b)")
 )
 
 // Config sizes a simulation.
@@ -65,6 +86,13 @@ type Config struct {
 	CollapseExponent float64
 	// Seed randomizes flow endpoints.
 	Seed int64
+	// Rand optionally supplies the RNG directly. When nil, New derives
+	// a private rand.New(rand.NewSource(Seed)). Every Simulator owns
+	// its RNG either way — the package never touches the global
+	// math/rand state — so concurrent simulations with equal seeds are
+	// reproducible and race-free. Supply Rand only to share a stream
+	// across stages of one single-goroutine scenario.
+	Rand *rand.Rand
 }
 
 // Validate checks the configuration.
@@ -176,9 +204,13 @@ func New(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	s := &Simulator{
 		cfg:              cfg,
-		rng:              rand.New(rand.NewSource(cfg.Seed)),
+		rng:              rng,
 		linkLoad:         make(map[[2]topology.NodeID]float64),
 		routerLoad:       make(map[topology.NodeID]float64),
 		normalRouterLoad: make(map[topology.NodeID]float64),
@@ -219,6 +251,8 @@ func (s *Simulator) Run(demands []Demand) (*Result, error) {
 	clear(s.linkLoad)
 	clear(s.routerLoad)
 	clear(s.normalRouterLoad)
+	cRuns.Inc()
+	cDemands.Add(int64(len(demands)))
 	res := &Result{}
 
 	type replication struct {
@@ -362,5 +396,14 @@ func (s *Simulator) Run(demands []Demand) (*Result, error) {
 	// by the replication fraction itself.
 	// (AttackProcessedRate already reflects that: engineAttack only
 	// contains the replicated share.)
+
+	if obs.Enabled() {
+		for _, load := range s.linkLoad {
+			hLinkUtil.Observe(load / s.cfg.LinkCapacity)
+		}
+		gWorstUtil.Set(res.WorstLinkUtilization)
+		gThroughputLoss.Set(res.ThroughputLossFraction())
+		gAccuracyLoss.Set(res.AccuracyLossFraction())
+	}
 	return res, nil
 }

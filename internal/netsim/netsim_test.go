@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/topology"
@@ -175,5 +177,76 @@ func TestRunDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if a.DeliveredRate != b.DeliveredRate || a.EngineProcessedRate != b.EngineProcessedRate {
 		t.Fatal("same seed must reproduce results")
+	}
+}
+
+// TestRunConcurrentSameSeed runs several same-seed simulations in
+// parallel: each Simulator owns its RNG, so concurrent runs must be
+// race-free and byte-identical to a sequential one. An injected
+// Config.Rand must also override the seed.
+func TestRunConcurrentSameSeed(t *testing.T) {
+	cfg := testConfig(t, 0.5)
+	run := func() *Result {
+		sim, err := New(cfg)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		res, err := sim.Run(sim.RandomDemands(40, 4000, 0.1))
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return res
+	}
+	want := run()
+
+	const n = 8
+	got := make([]*Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = run()
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range got {
+		if res == nil {
+			t.Fatalf("run %d failed", i)
+		}
+		if res.DeliveredRate != want.DeliveredRate ||
+			res.EngineProcessedRate != want.EngineProcessedRate ||
+			res.OfferedRate != want.OfferedRate {
+			t.Fatalf("concurrent run %d diverged: %+v vs %+v", i, res, want)
+		}
+	}
+
+	// A caller-supplied RNG takes precedence over Seed: a different
+	// stream must change the random demand set.
+	override := cfg
+	override.Rand = rand.New(rand.NewSource(999))
+	sim, err := New(override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := sim.RandomDemands(40, 4000, 0.1)
+	d2 := base.RandomDemands(40, 4000, 0.1)
+	same := len(d1) == len(d2)
+	if same {
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("Config.Rand override produced the seed-default demand stream")
 	}
 }

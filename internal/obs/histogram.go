@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Histogram is a fixed-bucket histogram: bounds are set at construction
+// and observations are lock-free atomic increments, so recording stays
+// cheap enough for per-batch hot paths. The sum is maintained with a
+// CAS loop; Observe is called per batch/epoch, not per packet, so
+// contention is negligible.
+type Histogram struct {
+	nm, hp string
+	// bounds are inclusive upper bucket bounds, ascending. counts has
+	// len(bounds)+1 slots; the last is the +Inf overflow bucket.
+	bounds  []float64
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram creates and registers a histogram with the given
+// ascending upper bucket bounds.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending: " + name)
+		}
+	}
+	h := &Histogram{nm: name, hp: help, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	register(h)
+	return h
+}
+
+// ExpBuckets returns n upper bounds start, start·factor, start·factor².
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets covers 10 µs to ~5 s in powers of two, a span that
+// holds both a single batch summarization and a whole epoch.
+func DurationBuckets() []float64 { return ExpBuckets(10e-6, 2, 20) }
+
+// Observe records v when collection is enabled.
+func (h *Histogram) Observe(v float64) {
+	if !on.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, floatBits(floatFromBits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return floatFromBits(h.sumBits.Load()) }
+
+// Mean returns the average observation, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile returns the upper bound of the bucket holding the q-th
+// (0 ≤ q ≤ 1) observation — a coarse but monotone estimate; +Inf
+// observations report the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Name implements Metric.
+func (h *Histogram) Name() string { return h.nm }
+
+// Help implements Metric.
+func (h *Histogram) Help() string { return h.hp }
+
+// Kind implements Metric.
+func (h *Histogram) Kind() string { return "histogram" }
+
+// Reset implements Metric.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+}
+
+func (h *Histogram) writeProm(w io.Writer) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.nm, fmt.Sprintf("%g", b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", h.nm, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", h.nm, h.count.Load())
+}
+
+func (h *Histogram) rows() []Row {
+	n := h.count.Load()
+	if n == 0 {
+		return nil
+	}
+	return []Row{
+		{Name: h.nm + "_count", Value: fmt.Sprintf("%d", n)},
+		{Name: h.nm + "_mean", Value: fmt.Sprintf("%.6g", h.Mean())},
+		{Name: h.nm + "_p99", Value: fmt.Sprintf("%.6g", h.Quantile(0.99))},
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w)
+	})
+}
+
+// NewMux returns a mux exposing GET /metrics plus the standard
+// net/http/pprof endpoints under /debug/pprof/. The pprof handlers are
+// wired explicitly so importing this package never pollutes
+// http.DefaultServeMux.
+func NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve enables collection, binds addr and serves /metrics and pprof
+// in a background goroutine, returning the bound address (useful with
+// ":0"). It is the one-call opt-in the cmd binaries use behind their
+// -obs flag.
+func Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	SetEnabled(true)
+	go http.Serve(ln, NewMux())
+	return ln.Addr(), nil
+}

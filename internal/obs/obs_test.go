@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Metrics here are created once at package scope: the registry is
+// process-wide and rejects duplicate names, so tests share handles and
+// reset state instead of re-registering.
+var (
+	tCounter = NewCounter("test_counter_total", "a test counter")
+	tLabeled = NewCounter("test_labeled_total{kind=\"a\"}", "a labeled test counter")
+	tGauge   = NewGauge("test_gauge", "a test gauge")
+	tInt     = NewIntGauge("test_int_gauge", "a test int gauge")
+	tHist    = NewHistogram("test_hist_seconds", "a test histogram", []float64{0.1, 1, 10})
+)
+
+func resetOn(t *testing.T) {
+	t.Helper()
+	SetEnabled(true)
+	t.Cleanup(func() {
+		SetEnabled(false)
+		ResetAll()
+	})
+	ResetAll()
+}
+
+func TestDisabledIsNoop(t *testing.T) {
+	SetEnabled(false)
+	ResetAll()
+	tCounter.Add(5)
+	tGauge.Set(3.5)
+	tInt.Set(7)
+	tHist.Observe(0.5)
+	if tCounter.Value() != 0 || tGauge.Value() != 0 || tInt.Value() != 0 || tHist.Count() != 0 {
+		t.Fatalf("disabled metrics recorded: counter=%d gauge=%v int=%d hist=%d",
+			tCounter.Value(), tGauge.Value(), tInt.Value(), tHist.Count())
+	}
+	if sp := StartSpan(tHist); sp != (Span{}) {
+		t.Fatal("disabled StartSpan must return the zero Span")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	resetOn(t)
+	tCounter.Add(2)
+	tCounter.Inc()
+	if tCounter.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", tCounter.Value())
+	}
+	tGauge.Set(0.35)
+	if tGauge.Value() != 0.35 {
+		t.Fatalf("gauge = %v, want 0.35", tGauge.Value())
+	}
+	tInt.Add(4)
+	tInt.Add(-1)
+	if tInt.Value() != 3 {
+		t.Fatalf("int gauge = %d, want 3", tInt.Value())
+	}
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		tHist.Observe(v)
+	}
+	if tHist.Count() != 5 {
+		t.Fatalf("hist count = %d, want 5", tHist.Count())
+	}
+	if got := tHist.Sum(); got != 56.05 {
+		t.Fatalf("hist sum = %v, want 56.05", got)
+	}
+	if m := tHist.Mean(); m < 11.209 || m > 11.211 {
+		t.Fatalf("hist mean = %v, want ≈11.21", m)
+	}
+	// 0.05→bucket 0.1; two 0.5→bucket 1; 5→bucket 10; 50→overflow.
+	if q := tHist.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 = %v, want 1", q)
+	}
+	if q := tHist.Quantile(0.99); q != 10 {
+		t.Fatalf("p99 = %v, want 10 (overflow reports largest finite bound)", q)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	resetOn(t)
+	tCounter.Add(7)
+	tLabeled.Add(2)
+	tHist.Observe(0.5)
+	var b bytes.Buffer
+	WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_counter_total a test counter",
+		"# TYPE test_counter_total counter",
+		"test_counter_total 7",
+		"test_labeled_total{kind=\"a\"} 2",
+		"# TYPE test_hist_seconds histogram",
+		"test_hist_seconds_bucket{le=\"0.1\"} 0",
+		"test_hist_seconds_bucket{le=\"1\"} 1",
+		"test_hist_seconds_bucket{le=\"+Inf\"} 1",
+		"test_hist_seconds_sum 0.5",
+		"test_hist_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	resetOn(t)
+	tCounter.Add(9)
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	NewMux().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_counter_total 9") {
+		t.Fatalf("metrics body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestSpanRecords(t *testing.T) {
+	resetOn(t)
+	sp := StartSpan(tHist)
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Fatalf("span duration = %v", d)
+	}
+	if tHist.Count() != 1 {
+		t.Fatalf("hist count = %d after span", tHist.Count())
+	}
+}
+
+func TestEpochLoggerJSONLines(t *testing.T) {
+	var b bytes.Buffer
+	l := NewEpochLogger(&b)
+	l.Log("monitor", 3,
+		KV{K: "id", V: 1},
+		KV{K: "summaries", V: 2},
+		KV{K: "collect_ms", V: 1500 * time.Microsecond},
+		KV{K: "ratio", V: 0.35},
+		KV{K: "note", V: `quote"me`},
+		KV{K: "ok", V: true})
+	l.Log("controller", 3, KV{K: "alerts", V: int64(0)})
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), b.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if rec["component"] != "monitor" || rec["epoch"] != float64(3) {
+		t.Fatalf("bad record: %v", rec)
+	}
+	if rec["collect_ms"] != 1.5 {
+		t.Fatalf("duration encoding = %v, want 1.5 ms", rec["collect_ms"])
+	}
+	if rec["note"] != `quote"me` {
+		t.Fatalf("string escaping broken: %v", rec["note"])
+	}
+	// Nil loggers must be safe to use.
+	var nilLogger *EpochLogger
+	nilLogger.Log("x", 0)
+}
+
+func TestTableSkipsZeros(t *testing.T) {
+	resetOn(t)
+	tCounter.Add(4)
+	var b bytes.Buffer
+	WriteTable(&b)
+	out := b.String()
+	if !strings.Contains(out, "test_counter_total") {
+		t.Fatalf("table missing non-zero counter:\n%s", out)
+	}
+	if strings.Contains(out, "test_gauge") {
+		t.Fatalf("table must omit zero-valued metrics:\n%s", out)
+	}
+}
+
+// BenchmarkCounterDisabled is the disabled hot path of the acceptance
+// criteria: it must be 0 allocs/op and a couple of nanoseconds.
+func BenchmarkCounterDisabled(b *testing.B) {
+	SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tCounter.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	SetEnabled(true)
+	defer func() { SetEnabled(false); ResetAll() }()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tCounter.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	SetEnabled(true)
+	defer func() { SetEnabled(false); ResetAll() }()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tHist.Observe(0.5)
+	}
+}

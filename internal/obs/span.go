@@ -1,0 +1,36 @@
+package obs
+
+import "time"
+
+// Span times one stage — a batch summarization, an epoch's collect
+// phase — into a histogram. It is a value type: StartSpan returns a
+// zero Span when collection is disabled, so the whole construct costs
+// one atomic load and no allocation on the disabled path.
+//
+// Usage:
+//
+//	defer obs.StartSpan(hSummarize).End()
+type Span struct {
+	start time.Time
+	h     *Histogram
+}
+
+// StartSpan begins timing into h. With collection disabled (or h nil)
+// the returned Span is inert.
+func StartSpan(h *Histogram) Span {
+	if h == nil || !on.Load() {
+		return Span{}
+	}
+	return Span{start: time.Now(), h: h}
+}
+
+// End records the elapsed seconds into the span's histogram and
+// returns them. Inert spans return 0 and record nothing.
+func (s Span) End() float64 {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start).Seconds()
+	s.h.Observe(d)
+	return d
+}

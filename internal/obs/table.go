@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Row is one line of the end-of-run summary table.
+type Row struct {
+	Name  string
+	Value string
+}
+
+// Snapshot returns the non-zero state of every registered metric as
+// sorted rows: counters and gauges one row each, histograms a
+// count/mean/p99 triple.
+func Snapshot() []Row {
+	var out []Row
+	for _, m := range snapshot() {
+		out = append(out, m.rows()...)
+	}
+	return out
+}
+
+// WriteTable renders the snapshot as an aligned two-column table — the
+// end-of-run summary printed by Pipeline.RunEpoch callers and
+// cmd/jaal-experiments. Zero-valued metrics are omitted so an
+// experiment touching two subsystems prints a short table, not the
+// whole registry.
+func WriteTable(w io.Writer) {
+	rows := Snapshot()
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "obs: no metrics recorded (collection disabled?)")
+		return
+	}
+	width := 0
+	for _, r := range rows {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	fmt.Fprintln(w, "--- observability summary ---")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-*s  %s\n", width, r.Name, r.Value)
+	}
+}

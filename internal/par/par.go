@@ -24,6 +24,24 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Pool observability: how often work fans out vs runs inline, how
+// often a saturated pool sheds helper slots, and how many goroutines
+// are busy right now. Counted once per dispatch (not per chunk), so
+// the accounting adds two atomic ops to an operation that already
+// costs a channel send per helper.
+var (
+	cDispatch = obs.NewCounter("jaal_par_dispatch_total",
+		"parallel dispatches fanned out across the worker pool")
+	cInline = obs.NewCounter("jaal_par_inline_total",
+		"dispatches run inline on the caller (small n or single worker)")
+	cShed = obs.NewCounter("jaal_par_shed_total",
+		"helper slots shed because the pool queue was full")
+	gActive = obs.NewIntGauge("jaal_par_active_workers",
+		"goroutines currently executing pool tasks (dispatchers included)")
 )
 
 // rowChunk is the fixed number of indices a worker claims at a time in
@@ -79,7 +97,9 @@ func start() {
 		for i := 0; i < poolSize-1; i++ {
 			go func() {
 				for t := range queue {
+					gActive.Add(1)
 					t.run()
+					gActive.Add(-1)
 					t.wg.Done()
 				}
 			}()
@@ -104,9 +124,11 @@ func dispatch(n, workers, chunk int, fn func(lo, hi int)) {
 		workers = chunks
 	}
 	if workers <= 1 {
+		cInline.Inc()
 		fn(0, n)
 		return
 	}
+	cDispatch.Inc()
 	t := taskPool.Get().(*task)
 	t.fn, t.n, t.chunk = fn, n, chunk
 	t.next.Store(0)
@@ -118,10 +140,13 @@ func dispatch(n, workers, chunk int, fn func(lo, hi int)) {
 		default:
 			// Every helper is busy; shed the slot rather than block —
 			// the dispatcher below still completes the task alone.
+			cShed.Inc()
 			t.wg.Done()
 		}
 	}
+	gActive.Add(1)
 	t.run()
+	gActive.Add(-1)
 	t.wg.Wait()
 	t.fn = nil
 	taskPool.Put(t)
@@ -139,6 +164,7 @@ func Rows(n, workers int, fn func(lo, hi int)) {
 		return
 	}
 	if n < minParallelRows {
+		cInline.Inc()
 		fn(0, n)
 		return
 	}

@@ -25,7 +25,32 @@ import (
 	"math/rand"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/packet"
+)
+
+// Summarization observability: the latency and batch-size profile of
+// the SVD+k-means pipeline, the encoding split (Fig. 11's S1-vs-S2
+// choice observed live), the elements shipped (the unit of §8's
+// communication accounting) and the arena's reuse behaviour. All
+// write-only side channels — none of these feed back into the
+// computation, so same-seed runs are identical with collection on or
+// off.
+var (
+	hSummarize = obs.NewHistogram("jaal_summarize_seconds",
+		"wall time of one batch summarization (SVD + k-means)", obs.DurationBuckets())
+	hBatchPackets = obs.NewHistogram("jaal_summarize_batch_packets",
+		"packets per summarized batch", obs.ExpBuckets(16, 2, 12))
+	cCombined = obs.NewCounter("jaal_summary_encodings_total{kind=\"combined\"}",
+		"summaries produced by encoding kind")
+	cSplit = obs.NewCounter("jaal_summary_encodings_total{kind=\"split\"}",
+		"summaries produced by encoding kind")
+	cElements = obs.NewCounter("jaal_summary_elements_total",
+		"total summary elements produced (4 wire bytes each)")
+	cArenaTakes = obs.NewCounter("jaal_summary_arena_takes_total",
+		"summaries carved from arena slabs")
+	cArenaChunks = obs.NewCounter("jaal_summary_arena_chunk_allocs_total",
+		"fresh arena slab allocations (takes/chunks ≈ reuse factor)")
 )
 
 // Kind discriminates the two summary encodings.
@@ -221,7 +246,9 @@ type arena struct {
 // take carves one summary's retained storage: nf float64s, ni ints and
 // a zeroed Summary.
 func (a *arena) take(nf, ni int) ([]float64, []int, *Summary) {
+	cArenaTakes.Inc()
 	if len(a.floats) < nf {
+		cArenaChunks.Inc()
 		a.floats = make([]float64, arenaBatch*nf)
 	}
 	fs := a.floats[:nf:nf]
@@ -277,6 +304,8 @@ func (s *Summarizer) Summarize(headers []packet.Header, monitorID int, epoch uin
 	if n < s.cfg.MinBatch || n == 0 {
 		return nil, fmt.Errorf("%w: %d < %d", ErrBatchTooSmall, n, s.cfg.MinBatch)
 	}
+	defer obs.StartSpan(hSummarize).End()
+	hBatchPackets.Observe(float64(n))
 	sc := linalg.GetScratch()
 	defer linalg.PutScratch(sc)
 
@@ -319,6 +348,8 @@ func (s *Summarizer) Summarize(headers []packet.Header, monitorID int, epoch uin
 		sum.Sigma = sigma
 		sum.V = &sum.vStore
 		sum.Assignments = assign
+		cSplit.Inc()
+		cElements.Add(int64(sum.Elements()))
 		return sum, nil
 	}
 
@@ -348,6 +379,8 @@ func (s *Summarizer) Summarize(headers []packet.Header, monitorID int, epoch uin
 	sum.Centroids = &sum.centroidStore
 	sum.Counts = counts
 	sum.Assignments = assign
+	cCombined.Inc()
+	cElements.Add(int64(sum.Elements()))
 	return sum, nil
 }
 

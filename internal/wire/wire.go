@@ -84,6 +84,10 @@ func (t MsgType) String() string {
 // corrupt rather than allocated.
 const MaxFrameSize = 64 << 20
 
+// frameHeaderSize is the fixed per-frame overhead: the uint32 length
+// prefix plus the type byte.
+const frameHeaderSize = 5
+
 // Message is one decoded frame.
 type Message struct {
 	Type    MsgType
@@ -106,6 +110,7 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 			return fmt.Errorf("wire: write payload: %w", err)
 		}
 	}
+	txCounters.count(t, len(payload))
 	return nil
 }
 
@@ -126,6 +131,7 @@ func ReadFrame(r io.Reader) (*Message, error) {
 			return nil, fmt.Errorf("wire: read payload: %w", err)
 		}
 	}
+	rxCounters.count(msg.Type, len(msg.Payload))
 	return msg, nil
 }
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Run every benchmark in the module and capture the results as JSON so
+# regressions are diffable across commits.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME   passed to -benchtime (default 1s; set e.g. 100x for a
+#               quick smoke run)
+#   BENCHFILTER passed to -bench (default ., i.e. everything)
+#
+# The output is one JSON object with the toolchain, date and a list of
+# benchmark records: {"name": ..., "iterations": N, "metrics":
+# {"ns/op": ..., "B/op": ..., "allocs/op": ...}}. The committed
+# baseline lives at BENCH_baseline.json.
+set -e
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_baseline.json}"
+benchtime="${BENCHTIME:-1s}"
+filter="${BENCHFILTER:-.}"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" ./... | tee "$raw"
+
+awk -v goversion="$(go version)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN {
+	printf "{\n  \"go\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [", goversion, date
+	n = 0
+}
+/^pkg: / { pkg = $2 }
+/^Benchmark/ && NF >= 4 {
+	if (n++) printf ","
+	printf "\n    {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"metrics\": {", pkg, $1, $2
+	m = 0
+	for (i = 3; i + 1 <= NF; i += 2) {
+		if (m++) printf ", "
+		printf "\"%s\": %s", $(i + 1), $i
+	}
+	printf "}}"
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" >"$out"
+
+echo "wrote $out"

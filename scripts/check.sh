@@ -1,10 +1,25 @@
 #!/usr/bin/env sh
-# Full local check: vet, build, and the test suite under the race
-# detector. The parallel summarization engine (internal/par and its
-# callers) is exactly the kind of code -race exists for, so this is the
-# gate to run before sending changes.
+# Full local check: formatting, vet, build, and the test suite under
+# the race detector. The parallel summarization engine (internal/par
+# and its callers) and the observability layer's atomics are exactly
+# the kind of code -race exists for, so this is the gate to run before
+# sending changes.
 set -e
 cd "$(dirname "$0")/.."
+
+# Formatting gate: fail loudly instead of letting drift accumulate.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
+
+# The determinism invariants first: these fail fast and carry the most
+# signal when instrumentation touches a hot path.
+go test -race -run 'TestPipelineParallelDeterminism|TestPipelineObsDeterminism' ./internal/core/
+
 go test -race ./...

@@ -145,12 +145,16 @@ func main() {
 			log.Printf("%s", a)
 		}
 		st := ctrl.Stats()
-		epochLogger.Log("controller", ctrl.Epoch()-1,
-			obs.KV{K: "summaries", V: len(all)},
-			obs.KV{K: "alerts", V: len(alerts)},
-			obs.KV{K: "poll_ms", V: pollDur},
-			obs.KV{K: "infer_ms", V: time.Since(inferStart)},
-			obs.KV{K: "overhead_fraction", V: st.OverheadFraction()})
+		// Guarded (obshot): the KV literals and boxed values would
+		// allocate every epoch even with logging disabled.
+		if epochLogger != nil {
+			epochLogger.Log("controller", ctrl.Epoch()-1,
+				obs.KV{K: "summaries", V: len(all)},
+				obs.KV{K: "alerts", V: len(alerts)},
+				obs.KV{K: "poll_ms", V: pollDur},
+				obs.KV{K: "infer_ms", V: time.Since(inferStart)},
+				obs.KV{K: "overhead_fraction", V: st.OverheadFraction()})
+		}
 		log.Printf("epoch %d: %d summaries, %d packets summarized, overhead %.1f%% of raw",
 			ctrl.Epoch()-1, len(all), st.PacketsSummarized, 100*st.OverheadFraction())
 	}

@@ -1,0 +1,93 @@
+// Command jaal-vet is the project's multichecker: it runs the custom
+// static analyzers of internal/analysis/... over the repo and exits
+// non-zero on any finding. It is part of scripts/check.sh and CI, so an
+// invariant violation fails the build mechanically.
+//
+// Usage:
+//
+//	jaal-vet [-checks detrand,mapiter,...] [-list] [packages]
+//
+// Packages default to ./..., resolved in the current module. Findings
+// print one per line as file:line:col: analyzer: message. A finding is
+// silenced — after review, with a reason — by an inline
+// //jaalvet:ignore comment; see internal/analysis and DESIGN.md
+// ("Static analysis").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/lockcopy"
+	"repro/internal/analysis/mapiter"
+	"repro/internal/analysis/obshot"
+	"repro/internal/analysis/wireerr"
+)
+
+// all registers every analyzer, in the order findings are attributed.
+var all = []*analysis.Analyzer{
+	atomicmix.Analyzer,
+	detrand.Analyzer,
+	lockcopy.Analyzer,
+	mapiter.Analyzer,
+	obshot.Analyzer,
+	wireerr.Analyzer,
+}
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *checks != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "jaal-vet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jaal-vet:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jaal-vet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "jaal-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,160 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the local framework.
+//
+// Fixtures live under <analyzer>/testdata/src/<pkg>/ — the package
+// directory name becomes the fixture's import path, which is how a
+// fixture lands inside (or outside) the deterministic package set that
+// detrand and mapiter key on. A fixture line expecting a finding
+// carries a trailing comment with one double-quoted regexp per
+// expected finding on that line:
+//
+//	t := time.Now() // want `wall clock`
+//
+// Unmatched expectations and unexpected findings both fail the test.
+// Suppression comments (//jaalvet:ignore) are honored inside fixtures,
+// so the suppression mechanics are testable too.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one // want clause.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src, applies the
+// analyzer, and reports mismatches through t.
+func Run(t *testing.T, analyzer *analysis.Analyzer, testdata string, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, analyzer, filepath.Join(testdata, "src", pkg), pkg)
+		})
+	}
+}
+
+func runOne(t *testing.T, analyzer *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("import path %s: %v", imp.Path.Value, err)
+			}
+			importSet[p] = true
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+
+	exports, err := analysis.ExportData(dir, imports...)
+	if err != nil {
+		t.Fatalf("export data: %v", err)
+	}
+	tpkg, info, err := analysis.TypeCheck(pkgPath, fset, files, analysis.NewImporter(fset, exports))
+	if err != nil {
+		t.Fatalf("type-check fixture %s: %v", pkgPath, err)
+	}
+
+	findings, err := analysis.Run([]*analysis.Package{{
+		Path: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info,
+	}}, []*analysis.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("run %s: %v", analyzer.Name, err)
+	}
+
+	expects := collectWants(t, fset, files)
+	for _, f := range findings {
+		if !claim(expects, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering f and reports
+// whether one existed.
+func claim(expects []*expectation, f analysis.Finding) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == f.Position.Filename && e.line == f.Position.Line && e.re.MatchString(f.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants extracts every // want clause. The clause body is one
+// or more Go string literals (quoted or backquoted), each a regexp.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lits := wantRE.FindAllString(text, -1)
+				if len(lits) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, lit := range lits {
+					s, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}

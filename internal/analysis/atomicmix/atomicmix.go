@@ -1,0 +1,132 @@
+// Package atomicmix flags struct fields that are accessed both through
+// sync/atomic functions (atomic.AddInt64(&s.n, 1)) and through plain
+// reads/writes (s.n++) within one package. Mixing the two races: the
+// plain access tears or is reordered against the atomic one, and the
+// race detector only notices if both sides fire in the same run —
+// which is exactly the class of latent bug internal/par and
+// internal/obs cannot afford (their discipline today is typed
+// sync/atomic values, which this analyzer does not restrict).
+//
+// Intentional cold-path plain access (a constructor initializing a
+// field before the value is shared) is suppressed at the site with
+// //jaalvet:ignore atomicmix plus the justification.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicmix checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag fields accessed both via sync/atomic functions and plainly",
+	Run:  run,
+}
+
+// atomicFns are the sync/atomic package-level functions whose first
+// argument is the address of the word they operate on.
+var atomicFns = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func run(pass *analysis.Pass) error {
+	atomicFields := map[*types.Var]bool{}      // fields reached via atomic.*(&x.f, …)
+	atomicArgs := map[*ast.SelectorExpr]bool{} // the selectors inside those calls
+	plain := map[*types.Var][]*ast.SelectorExpr{}
+
+	// First pass: find atomic accesses.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "sync/atomic" || !atomicFns[sel.Sel.Name] {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			fieldSel, ok := addr.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fv := fieldVar(pass, fieldSel); fv != nil {
+				atomicFields[fv] = true
+				atomicArgs[fieldSel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Second pass: find plain accesses to the same fields.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			if fv := fieldVar(pass, sel); fv != nil && atomicFields[fv] {
+				plain[fv] = append(plain[fv], sel)
+			}
+			return true
+		})
+	}
+	for fv, sels := range plain {
+		for _, sel := range sels {
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed with sync/atomic elsewhere in %s; this plain access races with it — use the atomic API (or a typed atomic.%s)",
+				fv.Name(), pass.Pkg.Path(), suggestTyped(fv))
+		}
+	}
+	return nil
+}
+
+// fieldVar resolves a selector to the struct field it denotes, or nil.
+func fieldVar(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// suggestTyped names the typed sync/atomic replacement for the field.
+func suggestTyped(fv *types.Var) string {
+	if b, ok := fv.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		}
+	}
+	return "Value"
+}

@@ -1,0 +1,20 @@
+// Negative atomicmix fixture: typed atomics plus unrelated plain
+// fields — no mixed access, no findings.
+package clean
+
+import "sync/atomic"
+
+type stats struct {
+	hits atomic.Int64
+	name string
+}
+
+func (s *stats) bump()         { s.hits.Add(1) }
+func (s *stats) label() string { return s.name }
+
+// Plain access to a field never touched by sync/atomic is fine.
+type plainOnly struct {
+	n int64
+}
+
+func (p *plainOnly) inc() { p.n++ }

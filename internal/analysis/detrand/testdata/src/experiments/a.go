@@ -1,0 +1,15 @@
+// Negative detrand fixture: "experiments" is not in the deterministic
+// package set, so wall clocks and global randomness pass unflagged
+// (the experiment harness times real work).
+package experiments
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockTiming() time.Duration {
+	start := time.Now()
+	_ = rand.Intn(100)
+	return time.Since(start)
+}

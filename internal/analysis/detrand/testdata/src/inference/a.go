@@ -1,0 +1,46 @@
+// Positive detrand fixture: package path "inference" is in the
+// deterministic set, so global randomness and wall-clock reads are
+// findings. newAlert reproduces the pre-fix internal/inference/alert.go
+// bug (Alert.Time stamped with time.Now).
+package inference
+
+import (
+	"math/rand"
+	"time"
+)
+
+type alert struct {
+	epoch uint64
+	t     time.Time
+}
+
+func newAlert(epoch uint64) *alert {
+	return &alert{epoch: epoch, t: time.Now()} // want `time\.Now reads the wall clock in deterministic package inference`
+}
+
+func jitter() time.Duration {
+	return time.Duration(rand.Intn(100)) * time.Millisecond // want `math/rand\.Intn uses the process-global RNG`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle uses the process-global RNG`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Injected RNGs and the constructors that build them are fine, as is
+// epoch-derived time.
+func allowed(rng *rand.Rand, base time.Time, epoch uint64) time.Time {
+	_ = rng.Intn(100)
+	fresh := rand.New(rand.NewSource(7))
+	_ = fresh.Float64()
+	_ = rand.NewZipf(fresh, 1.2, 1, 100)
+	return base.Add(time.Duration(epoch) * time.Second)
+}
+
+// A reviewed exception is silenced with the suppression convention.
+func suppressed() time.Time {
+	return time.Now() //jaalvet:ignore detrand — fixture: timing feeds only a metrics side channel
+}

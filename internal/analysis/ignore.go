@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression convention: a finding is silenced by an inline
+// comment
+//
+//	//jaalvet:ignore <analyzer>[,<analyzer>...] — <reason>
+//
+// placed either on the offending line or on the line directly above
+// it. The reason is mandatory — a suppression records a reviewed,
+// justified exception, not an opt-out — and a bare or unparseable
+// jaalvet:ignore comment is itself reported as a finding by the
+// driver. "--" is accepted in place of the em dash.
+
+const ignorePrefix = "//jaalvet:ignore"
+
+// suppressions records, per file and line, which analyzers are silenced.
+type suppressions struct {
+	// byLine maps filename → line → analyzer names (or "all").
+	byLine map[string]map[int]map[string]bool
+}
+
+// covers reports whether a finding at p from the named analyzer is
+// suppressed. A suppression on line L covers findings on L (trailing
+// comment) and L+1 (comment on its own line above the offender).
+func (s *suppressions) covers(p token.Position, analyzer string) bool {
+	lines := s.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		if names := lines[line]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanSuppressions walks every comment in files, building the
+// suppression table and reporting malformed jaalvet:ignore comments
+// (missing analyzer name or missing reason) as findings.
+func scanSuppressions(fset *token.FileSet, files []*ast.File) (*suppressions, []Finding) {
+	sup := &suppressions{byLine: make(map[string]map[int]map[string]bool)}
+	var malformed []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				names, reason := splitIgnore(rest)
+				if len(names) == 0 || reason == "" {
+					malformed = append(malformed, Finding{
+						Position: pos,
+						Analyzer: "jaalvet",
+						Message:  "malformed suppression: want //jaalvet:ignore <analyzer> — <reason>",
+					})
+					continue
+				}
+				lines := sup.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					sup.byLine[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return sup, malformed
+}
+
+// splitIgnore parses "<analyzer>[,<analyzer>...] — <reason>" (or with
+// "--" as the separator). A missing separator or empty reason yields
+// reason == "".
+func splitIgnore(s string) (names []string, reason string) {
+	s = strings.TrimSpace(s)
+	var sep int
+	var sepLen int
+	if i := strings.Index(s, "—"); i >= 0 {
+		sep, sepLen = i, len("—")
+	} else if i := strings.Index(s, "--"); i >= 0 {
+		sep, sepLen = i, 2
+	} else {
+		return nil, ""
+	}
+	reason = strings.TrimSpace(s[sep+sepLen:])
+	for _, n := range strings.Split(s[:sep], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, reason
+}

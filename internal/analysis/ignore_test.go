@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestSplitIgnore(t *testing.T) {
+	cases := []struct {
+		in     string
+		names  []string
+		reason string
+	}{
+		{" detrand — seeded elsewhere", []string{"detrand"}, "seeded elsewhere"},
+		{" detrand,mapiter — reviewed", []string{"detrand", "mapiter"}, "reviewed"},
+		{" mapiter -- ascii separator works", []string{"mapiter"}, "ascii separator works"},
+		// scanSuppressions treats empty names or an empty reason as
+		// malformed; splitIgnore just reports what it parsed.
+		{" detrand", nil, ""}, // no separator
+		{" detrand — ", []string{"detrand"}, ""},
+		{" — reason but no name", nil, "reason but no name"},
+		{"", nil, ""},
+	}
+	for _, c := range cases {
+		names, reason := splitIgnore(c.in)
+		if reason != c.reason {
+			t.Errorf("splitIgnore(%q) reason = %q, want %q", c.in, reason, c.reason)
+		}
+		if len(names) != len(c.names) {
+			t.Errorf("splitIgnore(%q) names = %v, want %v", c.in, names, c.names)
+			continue
+		}
+		for i := range names {
+			if names[i] != c.names[i] {
+				t.Errorf("splitIgnore(%q) names = %v, want %v", c.in, names, c.names)
+				break
+			}
+		}
+	}
+}
+
+func TestSuppressionsCover(t *testing.T) {
+	const src = `package p
+
+func f() {
+	_ = 1 //jaalvet:ignore detrand — trailing form
+	//jaalvet:ignore mapiter — line-above form
+	_ = 2
+	//jaalvet:ignore
+	_ = 3
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, malformed := scanSuppressions(fset, []*ast.File{f})
+
+	if len(malformed) != 1 {
+		t.Fatalf("malformed findings = %d, want 1 (the bare //jaalvet:ignore)", len(malformed))
+	}
+	if malformed[0].Analyzer != "jaalvet" {
+		t.Errorf("malformed finding analyzer = %q, want jaalvet", malformed[0].Analyzer)
+	}
+
+	at := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+	if !sup.covers(at(4), "detrand") {
+		t.Error("trailing suppression does not cover its own line")
+	}
+	if !sup.covers(at(6), "mapiter") {
+		t.Error("line-above suppression does not cover the next line")
+	}
+	if sup.covers(at(4), "mapiter") {
+		t.Error("suppression leaks to an analyzer it does not name")
+	}
+	if sup.covers(at(7), "detrand") {
+		t.Error("suppression covers a line it should not")
+	}
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+}
+
+// goList runs the go command in dir and decodes its JSON object stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard,Incomplete"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// NewImporter returns a types.Importer that resolves import paths
+// through compiler export data files (as produced by `go list -export`).
+// This is the unitchecker strategy: no source re-typechecking of
+// dependencies, no network, no modules beyond what is already built.
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// ExportData maps every dependency of the given packages (resolved in
+// dir's module context) to its export data file, compiling as needed.
+func ExportData(dir string, pkgs ...string) (map[string]string, error) {
+	if len(pkgs) == 0 {
+		return map[string]string{}, nil
+	}
+	entries, err := goList(dir, append([]string{"-deps", "-export"}, pkgs...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}
+
+// TypeCheck parses no files itself: it type-checks the given parsed
+// files as package path, resolving imports through imp.
+func TypeCheck(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// Load loads, parses and type-checks the packages matched by patterns,
+// resolved in dir's module context. Test files are excluded: the
+// invariants govern production code, and determinism tests themselves
+// legitimately use wall clocks and unseeded randomness.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	entries, err := goList(dir, append([]string{"-deps", "-export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports)
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || e.Standard || len(e.GoFiles) == 0 {
+			continue
+		}
+		if e.Incomplete {
+			return nil, fmt.Errorf("analysis: package %s did not load cleanly", e.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range e.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		tpkg, info, err := TypeCheck(e.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %v", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{Path: e.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// Finding is one surviving diagnostic with its position resolved.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings — suppressions already applied, malformed suppression
+// comments reported as findings themselves — in file/line order.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup, malformed := scanSuppressions(pkg.Fset, pkg.Files)
+		out = append(out, malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diagnostics {
+				p := pkg.Fset.Position(d.Pos)
+				if !sup.covers(p, a.Name) {
+					out = append(out, Finding{Position: p, Analyzer: d.Analyzer, Message: d.Message})
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		fi, fj := out[i].Position, out[j].Position
+		if fi.Filename != fj.Filename {
+			return fi.Filename < fj.Filename
+		}
+		if fi.Line != fj.Line {
+			return fi.Line < fj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

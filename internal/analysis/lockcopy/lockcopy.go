@@ -1,0 +1,148 @@
+// Package lockcopy extends go vet's copylocks to two copy channels vet
+// does not look at: the copy and append builtins. `copy(dst, src)` over
+// a slice whose element type contains a sync.Mutex (or any other
+// no-copy type) duplicates held lock state element by element, and
+// `append(s, v)` does the same for the appended value — both compile
+// silently and pass vet today. The registry/snapshot code in
+// internal/obs and the pool bookkeeping in internal/par traffic in
+// exactly such slices, so the gap is live here.
+//
+// A type "contains a lock" when it transitively holds a field of type
+// sync.Mutex, RWMutex, WaitGroup, Once, Cond, Map, Pool, or any
+// sync/atomic value type — i.e. anything whose copy go vet would flag
+// in an assignment.
+package lockcopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockcopy checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcopy",
+	Doc:  "flag copy() and append() moving lock-containing values, which go vet's copylocks misses",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			switch id.Name {
+			case "copy":
+				if len(call.Args) != 2 {
+					return true
+				}
+				if elem := sliceElem(pass, call.Args[0]); elem != nil {
+					if lock := lockPath(elem); lock != "" {
+						pass.Reportf(call.Pos(),
+							"copy duplicates %s values, copying their %s; copy pointers or reinitialize the locks",
+							elem, lock)
+					}
+				}
+			case "append":
+				for _, arg := range call.Args[1:] {
+					tv, ok := pass.TypesInfo.Types[arg]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					t := tv.Type
+					// append(dst, src...) copies src's elements.
+					if call.Ellipsis.IsValid() {
+						if elem := elemOf(t); elem != nil {
+							t = elem
+						}
+					}
+					if lock := lockPath(t); lock != "" {
+						pass.Reportf(arg.Pos(),
+							"append copies a %s value, copying its %s; store pointers in the slice instead",
+							t, lock)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func sliceElem(pass *analysis.Pass, e ast.Expr) types.Type {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return elemOf(tv.Type)
+}
+
+func elemOf(t types.Type) types.Type {
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		return sl.Elem()
+	}
+	return nil
+}
+
+// lockPath reports how t contains a no-copy type ("" when it does not),
+// e.g. "sync.Mutex" or "field mu sync.Mutex".
+func lockPath(t types.Type) string {
+	return lockPathRec(t, map[types.Type]bool{})
+}
+
+func lockPathRec(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if name := noCopyName(t); name != "" {
+		return name
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lockPathRec(u.Field(i).Type(), seen); p != "" {
+				return p
+			}
+		}
+	case *types.Array:
+		return lockPathRec(u.Elem(), seen)
+	}
+	return ""
+}
+
+// noCopyName matches the sync and sync/atomic types that must not be
+// copied once in use.
+func noCopyName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		switch obj.Name() {
+		case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+			return "sync." + obj.Name()
+		}
+	case "sync/atomic":
+		switch obj.Name() {
+		case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+			return "sync/atomic." + obj.Name()
+		}
+	}
+	return ""
+}

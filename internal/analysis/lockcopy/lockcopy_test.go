@@ -1,0 +1,12 @@
+package lockcopy_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockcopy"
+)
+
+func TestLockcopy(t *testing.T) {
+	analysistest.Run(t, lockcopy.Analyzer, "testdata", "reg", "buf")
+}

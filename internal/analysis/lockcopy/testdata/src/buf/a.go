@@ -1,0 +1,18 @@
+// Negative lockcopy fixture: plain data types flow through copy and
+// append without findings.
+package buf
+
+type sample struct {
+	ts  uint64
+	val float64
+}
+
+func clone(xs []sample) []sample {
+	out := make([]sample, len(xs))
+	copy(out, xs)
+	return out
+}
+
+func push(xs []sample, s sample) []sample {
+	return append(xs, s)
+}

@@ -1,0 +1,47 @@
+// Positive lockcopy fixture: copy() and append() moving values whose
+// type contains a lock — the copylocks gap go vet does not cover.
+package reg
+
+import "sync"
+
+type entry struct {
+	mu sync.Mutex
+	n  int
+}
+
+func grow(entries []entry) []entry {
+	bigger := make([]entry, len(entries)*2)
+	copy(bigger, entries) // want `copy duplicates reg\.entry values, copying their sync\.Mutex`
+	return bigger
+}
+
+func add(entries []entry, e entry) []entry {
+	return append(entries, e) // want `append copies a reg\.entry value, copying its sync\.Mutex`
+}
+
+func merge(dst, src []entry) []entry {
+	return append(dst, src...) // want `append copies a reg\.entry value, copying its sync\.Mutex`
+}
+
+// Pointer slices move pointers, never lock state.
+func growPtrs(entries []*entry) []*entry {
+	bigger := make([]*entry, len(entries)*2)
+	copy(bigger, entries)
+	return bigger
+}
+
+// Lock-free element types are untouched.
+func growBytes(b []byte, extra ...byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return append(out, extra...)
+}
+
+// A reviewed copy of never-locked values is silenced with the
+// convention.
+func snapshotUnshared(entries []entry) []entry {
+	out := make([]entry, len(entries))
+	//jaalvet:ignore lockcopy — fixture: entries are construction-time only, locks never held
+	copy(out, entries)
+	return out
+}

@@ -1,0 +1,103 @@
+// Package mapiter flags `for … range` over map values inside the
+// deterministic package set (analysis.DeterministicPackages), where Go's
+// randomized iteration order can leak into outputs.
+//
+// Two pre-fix bugs in this tree motivate the check (ISSUE 3):
+// flowassign's SnapshotGreedy.Refresh walked the live load map while
+// rebuilding its snapshot, and RobinHood.Assign summed float64 loads in
+// map order — float addition is not associative, so even a
+// "commutative" sum differs across runs.
+//
+// One loop shape is recognized as inherently order-insensitive and
+// allowed without a suppression: the key-collection idiom feeding a
+// sort,
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Slice(keys, …)
+//
+// i.e. a single-statement body appending exactly the key (value unused)
+// to a slice. Everything else needs either sorted-key iteration or a
+// //jaalvet:ignore mapiter suppression stating why order cannot reach
+// an output.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the mapiter checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration in deterministic packages unless it is a key-collection feeding a sort",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollection(rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"map iteration order is nondeterministic and %s must produce identical output across runs; iterate over sorted keys",
+				pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollection reports whether the loop is exactly
+// `for k := range m { s = append(s, k) }` (value unused).
+func isKeyCollection(rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if rng.Value != nil {
+		if v, ok := rng.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	lhs, ok2 := asg.Lhs[0].(*ast.Ident)
+	if !ok || !ok2 || dst.Name != lhs.Name {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}

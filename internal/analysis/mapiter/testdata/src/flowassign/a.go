@@ -1,0 +1,57 @@
+// Positive mapiter fixture: package path "flowassign" is in the
+// deterministic set. refresh and total reproduce the two pre-fix
+// internal/flowassign bugs: SnapshotGreedy.Refresh rebuilding its
+// snapshot in map order, and RobinHood summing float64 loads in map
+// order (float addition is not associative).
+package flowassign
+
+import "sort"
+
+type monitorID int
+
+type snapshotGreedy struct {
+	load     map[monitorID]float64
+	snapshot map[monitorID]float64
+}
+
+func (g *snapshotGreedy) refresh() {
+	for m, l := range g.load { // want `map iteration order is nondeterministic`
+		g.snapshot[m] = l
+	}
+}
+
+func (g *snapshotGreedy) total() float64 {
+	var t float64
+	for _, l := range g.load { // want `map iteration order is nondeterministic`
+		t += l
+	}
+	return t
+}
+
+// The key-collection idiom feeding a sort is order-insensitive and
+// allowed without a suppression.
+func (g *snapshotGreedy) keys() []monitorID {
+	ids := make([]monitorID, 0, len(g.load))
+	for m := range g.load {
+		ids = append(ids, m)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Slice iteration is always fine.
+func sum(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// A reviewed order-insensitive walk is silenced with the convention.
+func (g *snapshotGreedy) clearAll() {
+	//jaalvet:ignore mapiter — fixture: per-entry delete, order cannot matter
+	for m := range g.snapshot {
+		delete(g.snapshot, m)
+	}
+}

@@ -1,0 +1,11 @@
+// Negative mapiter fixture: "tools" carries no reproducibility
+// obligation, so raw map walks pass unflagged.
+package tools
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+// Package obshot preserves the observability layer's disabled-path
+// guarantee: every hot-path instrumentation call costs one atomic load
+// and a branch with zero heap allocations when collection is off
+// (internal/obs package doc; BenchmarkObsOverhead).
+//
+// The gate inside obs (`if on.Load()`) cannot protect the *arguments*:
+// Go evaluates them before the call, so an argument that allocates —
+// fmt.Sprintf, a composite literal like obs.KV{…}, string
+// concatenation, or boxing a scalar into an interface parameter —
+// pays its cost even while metrics are disabled. The analyzer flags
+// such arguments at call sites of the obs hot-path primitives
+// (Counter/Gauge Add/Inc/Set, Histogram.Observe, StartSpan,
+// Span.End, EpochLogger.Log) unless the call is lexically guarded:
+//
+//   - inside `if obs.Enabled() { … }` (or any condition containing an
+//     Enabled() call),
+//   - inside `if x != nil { … }` (the epoch-logger convention), or
+//   - after an early return `if !obs.Enabled() { return }`.
+//
+// Cold-path obs calls (New* constructors at init, Write*/Reset
+// exporters) may allocate freely and are not checked.
+package obshot
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the obshot checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "obshot",
+	Doc:  "forbid allocating arguments to unguarded obs hot-path calls",
+	Run:  run,
+}
+
+// hotNames are the obs methods/functions whose call sites sit on data
+// paths and must stay allocation-free when collection is disabled.
+var hotNames = map[string]bool{
+	"Add":       true,
+	"Inc":       true,
+	"Set":       true,
+	"Observe":   true,
+	"StartSpan": true,
+	"End":       true,
+	"Log":       true,
+}
+
+func run(pass *analysis.Pass) error {
+	if isObsPath(pass.Pkg.Path()) {
+		// The obs package itself is where the gate lives.
+		return nil
+	}
+	for _, f := range pass.Files {
+		guards := collectGuards(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := obsCallee(pass, call)
+			if fn == nil || !hotNames[fn.Name()] || guards.covers(call.Pos()) {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			for i, arg := range call.Args {
+				checkArg(pass, fn, sig, i, arg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isObsPath(path string) bool {
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+// obsCallee resolves call's callee when it is a function or method
+// belonging to the obs package (directly, or a method on an obs type).
+func obsCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !isObsPath(fn.Pkg().Path()) {
+		return nil
+	}
+	return fn
+}
+
+// checkArg reports allocation hazards in one argument expression.
+func checkArg(pass *analysis.Pass, fn *types.Func, sig *types.Signature, i int, arg ast.Expr) {
+	// Boxing: a non-interface value passed to an interface parameter
+	// allocates at the call site, before obs can gate it.
+	if pt := paramType(sig, i); pt != nil && types.IsInterface(pt) {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Type != nil &&
+			!types.IsInterface(tv.Type) && !tv.IsNil() {
+			pass.Reportf(arg.Pos(),
+				"argument to obs.%s boxes %s into %s on the disabled path; guard the call with obs.Enabled()",
+				fn.Name(), tv.Type, pt)
+		}
+	}
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CompositeLit:
+			pass.Reportf(e.Pos(),
+				"composite literal argument to obs.%s allocates on the disabled path; guard the call with obs.Enabled()",
+				fn.Name())
+			return false
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if tv, ok := pass.TypesInfo.Types[e]; ok && isString(tv.Type) {
+					pass.Reportf(e.Pos(),
+						"string concatenation in argument to obs.%s allocates on the disabled path; precompute it or guard the call",
+						fn.Name())
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if callee, ok := e.Fun.(*ast.SelectorExpr); ok {
+				if pkgName, ok := pass.TypesInfo.Uses[pkgIdent(callee)].(*types.PkgName); ok && pkgName.Imported().Path() == "fmt" {
+					pass.Reportf(e.Pos(),
+						"fmt.%s in argument to obs.%s allocates on the disabled path; guard the call with obs.Enabled()",
+						callee.Sel.Name, fn.Name())
+					return false
+				}
+			}
+			if id, ok := e.Fun.(*ast.Ident); ok && (id.Name == "append" || id.Name == "make") {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					pass.Reportf(e.Pos(),
+						"%s in argument to obs.%s allocates on the disabled path; guard the call with obs.Enabled()",
+						id.Name, fn.Name())
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+func pkgIdent(sel *ast.SelectorExpr) *ast.Ident {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id
+	}
+	return nil
+}
+
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if sl, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// guardSet is the source intervals within which obs calls are known to
+// run only when collection (or the epoch log) is enabled.
+type guardSet struct{ intervals [][2]token.Pos }
+
+func (g *guardSet) add(lo, hi token.Pos) { g.intervals = append(g.intervals, [2]token.Pos{lo, hi}) }
+
+func (g *guardSet) covers(p token.Pos) bool {
+	for _, iv := range g.intervals {
+		if iv[0] <= p && p < iv[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectGuards finds guarded regions: bodies of if statements whose
+// condition establishes enablement, and block tails following an
+// early `if !obs.Enabled() { return }`.
+func collectGuards(pass *analysis.Pass, f *ast.File) *guardSet {
+	g := &guardSet{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			if isEnableCond(pass, s.Cond) {
+				g.add(s.Body.Pos(), s.Body.End())
+			}
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				ifs, ok := st.(*ast.IfStmt)
+				if !ok || ifs.Else != nil {
+					continue
+				}
+				not, ok := ifs.Cond.(*ast.UnaryExpr)
+				if !ok || not.Op != token.NOT || !isEnableCond(pass, not.X) {
+					continue
+				}
+				if endsInReturn(ifs.Body) {
+					g.add(ifs.End(), s.End())
+				}
+			}
+		}
+		return true
+	})
+	return g
+}
+
+// isEnableCond reports whether cond contains an obs Enabled() call or
+// a `!= nil` comparison (the nil-safe epoch-logger guard).
+func isEnableCond(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Name() == "Enabled" && fn.Pkg() != nil && isObsPath(fn.Pkg().Path()) {
+					found = true
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.NEQ && (isNil(pass, e.X) || isNil(pass, e.Y)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}

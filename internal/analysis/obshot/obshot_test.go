@@ -1,0 +1,12 @@
+package obshot_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obshot"
+)
+
+func TestObshot(t *testing.T) {
+	analysistest.Run(t, obshot.Analyzer, "testdata", "hot", "obs")
+}

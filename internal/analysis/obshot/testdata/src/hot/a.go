@@ -1,0 +1,60 @@
+// Positive obshot fixture: unguarded hot-path obs calls whose
+// arguments allocate even while collection is disabled.
+package hot
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Cold-path constructors may allocate freely.
+var (
+	reqs = obs.NewCounter("hot_reqs_total", "requests")
+	load = obs.NewGauge("hot_load", "load")
+	lat  = obs.NewHistogram("hot_latency_seconds", "latency", nil)
+)
+
+func unguarded(l *obs.EpochLogger, epoch uint64, n int64, name string) {
+	l.Log("collector", epoch, obs.KV{K: "n", V: n}) // want `composite literal argument to obs\.Log allocates on the disabled path`
+	l.Log(fmt.Sprintf("mon-%d", n), epoch)          // want `fmt\.Sprintf in argument to obs\.Log allocates on the disabled path`
+	l.Log("mon-"+name, epoch)                       // want `string concatenation in argument to obs\.Log allocates on the disabled path`
+	load.Set(float64(len(make([]int, n))))          // want `make in argument to obs\.Set allocates on the disabled path`
+}
+
+// Scalar arguments are free: the gate inside obs is enough.
+func scalars(v float64) {
+	reqs.Inc()
+	reqs.Add(1)
+	load.Set(v)
+	lat.Observe(v)
+}
+
+// An Enabled() condition guards the whole if body.
+func enabledGuard(l *obs.EpochLogger, epoch uint64, n int64) {
+	if obs.Enabled() {
+		l.Log("collector", epoch, obs.KV{K: "n", V: n})
+	}
+}
+
+// The nil-safe epoch-logger convention guards too.
+func nilGuard(l *obs.EpochLogger, epoch uint64, n int64) {
+	if l != nil {
+		l.Log("collector", epoch, obs.KV{K: "n", V: n})
+	}
+}
+
+// After an early `if !obs.Enabled() { return }` the block tail is hot
+// only when collection is on.
+func earlyReturn(l *obs.EpochLogger, epoch uint64, n int64) {
+	if !obs.Enabled() {
+		return
+	}
+	l.Log("collector", epoch, obs.KV{K: "n", V: n})
+}
+
+// A reviewed exception is silenced with the convention.
+func suppressed(l *obs.EpochLogger, epoch uint64, n int64) {
+	//jaalvet:ignore obshot — fixture: startup-only call, never on the epoch path
+	l.Log("boot", epoch, obs.KV{K: "n", V: n})
+}

@@ -1,0 +1,12 @@
+// Negative obshot fixture: the package path is "obs", and the
+// analyzer never checks the obs package itself — that is where the
+// enablement gate lives, so its internal calls are trusted.
+package obs
+
+import (
+	ro "repro/internal/obs"
+)
+
+func internalPlumbing(l *ro.EpochLogger, epoch uint64, n int64) {
+	l.Log("self", epoch, ro.KV{K: "n", V: n})
+}

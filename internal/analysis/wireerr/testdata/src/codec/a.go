@@ -1,0 +1,20 @@
+// Negative wireerr fixture: "codec" is not a wire package, and its
+// MsgType is its own named type — none of the wire rules apply.
+package codec
+
+type MsgType uint8
+
+const msgPing MsgType = 1
+
+// Not a wire package: decode shape is unconstrained here.
+func DecodeLoose(payload []byte) byte {
+	return payload[0]
+}
+
+func dispatch(t MsgType) int {
+	switch t {
+	case msgPing:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,78 @@
+// Positive wireerr fixture: the package path is "wire", so the decode
+// discipline applies — payload decoders must return errors and
+// length-guard, io.ReadFull errors must be consumed, and MsgType
+// switches need default cases.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+var errShort = errors.New("wire: short frame")
+
+// DecodeBad ignores both rules: no error result, and it indexes the
+// payload without checking len first.
+func DecodeBad(payload []byte) uint16 { // want `DecodeBad decodes a payload but returns no error` `DecodeBad indexes its payload without a len\(\) guard`
+	return uint16(payload[0])<<8 | uint16(payload[1])
+}
+
+// DecodeLen returns an error but still trusts the frame width.
+func DecodeLen(payload []byte) (uint32, error) { // want `DecodeLen indexes its payload without a len\(\) guard`
+	return binary.BigEndian.Uint32(payload), nil
+}
+
+// DecodeGood is the required shape: guard, then read.
+func DecodeGood(payload []byte) (uint16, error) {
+	if len(payload) < 2 {
+		return 0, errShort
+	}
+	return uint16(payload[0])<<8 | uint16(payload[1]), nil
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 4)
+	io.ReadFull(r, buf) // want `io\.ReadFull's error is discarded`
+	var n int
+	n, _ = io.ReadFull(r, buf) // want `io\.ReadFull's error is discarded`
+	_ = n
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// MsgType mirrors the real wire message-type byte.
+type MsgType uint8
+
+const (
+	MsgSummary MsgType = 1
+	MsgAck     MsgType = 2
+)
+
+func dispatchBad(t MsgType) int {
+	switch t { // want `switch over wire\.MsgType has no default case`
+	case MsgSummary:
+		return 1
+	case MsgAck:
+		return 2
+	}
+	return 0
+}
+
+func dispatchGood(t MsgType) int {
+	switch t {
+	case MsgSummary:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// A reviewed exception is silenced with the convention.
+//
+//jaalvet:ignore wireerr — fixture: checksum probe, caller validates frame length first
+func DecodeProbe(payload []byte) byte {
+	return payload[0]
+}

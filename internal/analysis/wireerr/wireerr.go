@@ -1,0 +1,230 @@
+// Package wireerr enforces the decode-path discipline of the wire
+// protocol (internal/wire; exercised by core's transport_error_test.go):
+// a frame read off a real TCP connection can be short, truncated, or
+// carry an unknown type byte, and every decode path must turn those
+// into errors instead of panics or silent misreads. Three rules:
+//
+//  1. In a wire package, every Decode*/parse function taking a []byte
+//     payload must return an error and must length-guard the payload
+//     (an `if` comparing len(payload)) before indexing it — otherwise
+//     a short frame panics the reader instead of failing the decode.
+//  2. In a wire package, the error result of io.ReadFull must not be
+//     discarded; a short read that is ignored yields a zero-filled
+//     buffer that decodes to garbage.
+//  3. Everywhere: a switch over a wire message-type value (a named
+//     type …/wire.MsgType) must carry a default case, so an unknown
+//     or future message type is handled rather than silently dropped
+//     (transport.go answers them with an error; String() renders
+//     "msg(N)").
+package wireerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wireerr checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireerr",
+	Doc:  "require length-guarded decodes, handled short reads, and default cases on message-type switches",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	inWire := isWirePath(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && inWire && strings.HasPrefix(fn.Name.Name, "Decode") {
+				checkDecode(pass, fn)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.SwitchStmt:
+				checkMsgSwitch(pass, s)
+			case *ast.CallExpr:
+				if inWire {
+					checkReadFull(pass, s, f)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isWirePath(path string) bool {
+	return path == "wire" || strings.HasSuffix(path, "/wire")
+}
+
+// checkDecode verifies rule 1 on one Decode* function.
+func checkDecode(pass *analysis.Pass, fn *ast.FuncDecl) {
+	payload := byteSliceParam(pass, fn)
+	if payload == nil || fn.Body == nil {
+		return
+	}
+	if !returnsError(pass, fn) {
+		pass.Reportf(fn.Pos(), "%s decodes a payload but returns no error; short or corrupt frames cannot be reported", fn.Name.Name)
+	}
+	if usesPayloadUnsafely(pass, fn.Body, payload) && !hasLenGuard(pass, fn.Body, payload) {
+		pass.Reportf(fn.Pos(), "%s indexes its payload without a len() guard; a short frame panics the decoder instead of returning an error", fn.Name.Name)
+	}
+}
+
+// byteSliceParam returns the first []byte parameter's object.
+func byteSliceParam(pass *analysis.Pass, fn *ast.FuncDecl) *types.Var {
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if sl, ok := obj.Type().Underlying().(*types.Slice); ok {
+				if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func returnsError(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && tv.Type != nil && tv.Type.String() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// usesPayloadUnsafely reports whether body indexes, slices, or passes
+// the payload to a fixed-width binary accessor — anything that panics
+// on short input.
+func usesPayloadUnsafely(pass *analysis.Pass, body *ast.BlockStmt, payload *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IndexExpr:
+			if isVar(pass, e.X, payload) {
+				found = true
+			}
+		case *ast.SliceExpr:
+			if isVar(pass, e.X, payload) {
+				found = true
+			}
+		case *ast.CallExpr:
+			// binary.BigEndian.Uint32(p) panics when len(p) < 4.
+			for _, arg := range e.Args {
+				if isVar(pass, arg, payload) {
+					if sel, ok := e.Fun.(*ast.SelectorExpr); ok && strings.HasPrefix(sel.Sel.Name, "Uint") {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasLenGuard reports whether body contains an if condition comparing
+// len(payload) against something.
+func hasLenGuard(pass *analysis.Pass, body *ast.BlockStmt, payload *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			call, ok := c.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "len" {
+				return true
+			}
+			if isVar(pass, call.Args[0], payload) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return !found
+	})
+	return found
+}
+
+func isVar(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == v
+}
+
+// checkReadFull verifies rule 2: io.ReadFull's error is consumed.
+func checkReadFull(pass *analysis.Pass, call *ast.CallExpr, f *ast.File) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ReadFull" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "io" {
+		return
+	}
+	// The call is fine exactly when it appears as the RHS of an
+	// assignment that binds the error to a real identifier.
+	bound := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 || asg.Rhs[0] != ast.Expr(call) {
+			return true
+		}
+		if len(asg.Lhs) == 2 {
+			if errID, ok := asg.Lhs[1].(*ast.Ident); ok && errID.Name != "_" {
+				bound = true
+			}
+		}
+		return true
+	})
+	if !bound {
+		pass.Reportf(call.Pos(), "io.ReadFull's error is discarded; a short read must abort the decode")
+	}
+}
+
+// checkMsgSwitch verifies rule 3: switches over a wire MsgType value
+// carry a default case.
+func checkMsgSwitch(pass *analysis.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[s.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Name() != "MsgType" || obj.Pkg() == nil || !isWirePath(obj.Pkg().Path()) {
+		return
+	}
+	for _, st := range s.Body.List {
+		if cc, ok := st.(*ast.CaseClause); ok && cc.List == nil {
+			return // has default
+		}
+	}
+	pass.Reportf(s.Pos(), "switch over wire.MsgType has no default case; unknown message types must be handled, not dropped")
+}

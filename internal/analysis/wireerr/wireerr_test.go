@@ -1,0 +1,12 @@
+package wireerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wireerr"
+)
+
+func TestWireerr(t *testing.T) {
+	analysistest.Run(t, wireerr.Analyzer, "testdata", "wire", "codec")
+}

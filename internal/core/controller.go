@@ -32,6 +32,9 @@ type Controller struct {
 	// useFeedback enables the two-stage path for attacks with a
 	// feedback config.
 	useFeedback bool
+	// clock stamps alerts; epoch-derived by default so same-seed runs
+	// emit byte-identical alert streams.
+	clock inference.Clock
 	// workers bounds the per-question fan-out of ProcessEpoch
 	// (0 = GOMAXPROCS).
 	workers int
@@ -100,6 +103,10 @@ type ControllerConfig struct {
 	// sweep. Results merge in sorted attack-ID order, so alerts are
 	// identical for every worker count.
 	Workers int
+	// Clock stamps alerts. Nil selects inference.DefaultClock, which
+	// derives the timestamp from the epoch counter; install a wall
+	// clock only in live (non-reproducible) deployments.
+	Clock inference.Clock
 }
 
 // NewController builds a controller.
@@ -107,10 +114,21 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	if len(cfg.Questions) == 0 {
 		return nil, fmt.Errorf("core: controller needs at least one question")
 	}
-	for id, fb := range cfg.Feedback {
-		if err := fb.Validate(); err != nil {
+	// Validate in sorted order so which config's error surfaces first
+	// does not depend on map iteration order.
+	fbIDs := make([]rules.AttackID, 0, len(cfg.Feedback))
+	for id := range cfg.Feedback {
+		fbIDs = append(fbIDs, id)
+	}
+	sort.Slice(fbIDs, func(i, j int) bool { return fbIDs[i] < fbIDs[j] })
+	for _, id := range fbIDs {
+		if err := cfg.Feedback[id].Validate(); err != nil {
 			return nil, fmt.Errorf("core: feedback config for %s: %w", id, err)
 		}
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = inference.DefaultClock
 	}
 	return &Controller{
 		env:         cfg.Env,
@@ -118,6 +136,7 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		feedback:    cfg.Feedback,
 		useFeedback: cfg.UseFeedback,
 		workers:     cfg.Workers,
+		clock:       clock,
 		sources:     make(map[int]RawSource),
 	}, nil
 }
@@ -227,13 +246,13 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 		if r.fb != nil {
 			countVerdict(r.fb.Verdict)
 			if r.fb.Alerted {
-				alerts = append(alerts, inference.NewAlertFromFeedback(id, epoch, r.fb))
+				alerts = append(alerts, inference.NewAlertFromFeedback(id, epoch, r.fb, c.clock))
 			}
 			continue
 		}
 		if r.match.Alerted() {
 			cSimMatches.Inc()
-			alerts = append(alerts, inference.NewAlertFromMatch(id, epoch, r.match))
+			alerts = append(alerts, inference.NewAlertFromMatch(id, epoch, r.match, c.clock))
 		}
 	}
 

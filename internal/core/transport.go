@@ -57,7 +57,7 @@ func (s *MonitorServer) handle(conn net.Conn, msg *wire.Message) error {
 		}
 		var start time.Time
 		if s.EpochLog != nil {
-			start = time.Now()
+			start = time.Now() //jaalvet:ignore detrand — collect timing feeds only the epoch log; the wire protocol carries no timestamps
 		}
 		ss, pending, err := s.Monitor.CollectSummaries()
 		if err != nil && !errors.Is(err, summary.ErrBatchTooSmall) {
@@ -68,7 +68,7 @@ func (s *MonitorServer) handle(conn net.Conn, msg *wire.Message) error {
 				obs.KV{K: "id", V: s.Monitor.ID()},
 				obs.KV{K: "summaries", V: len(ss)},
 				obs.KV{K: "pending", V: pending},
-				obs.KV{K: "collect_ms", V: time.Since(start)})
+				obs.KV{K: "collect_ms", V: time.Since(start)}) //jaalvet:ignore detrand — collect timing feeds only the epoch log; the wire protocol carries no timestamps
 		}
 		if len(ss) == 0 {
 			return wire.WriteFrame(conn, wire.MsgSummaryDecline,

@@ -88,6 +88,17 @@ func (t *tracker) assignmentOf(f FlowID) (Assignment, bool) {
 	return a, ok
 }
 
+// sortedMonitors returns the map's keys in ascending order, the
+// deterministic iteration order for load walks.
+func sortedMonitors(load map[MonitorID]float64) []MonitorID {
+	ids := make([]MonitorID, 0, len(load))
+	for m := range load {
+		ids = append(ids, m)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // Greedy is Jaal's deployed strategy: least-loaded monitor in the group.
 type Greedy struct {
 	t tracker
@@ -145,11 +156,13 @@ func NewSnapshotGreedy() *SnapshotGreedy {
 func (g *SnapshotGreedy) Name() string { return "greedy(P)" }
 
 // Refresh updates the decision snapshot to the current true loads — the
-// periodic load poll.
+// periodic load poll. The copy walks sorted keys (mapiter): the real
+// controller polls monitors in ID order, and a raw map walk here is
+// exactly the unsorted-iteration hazard jaal-vet exists to catch.
 func (g *SnapshotGreedy) Refresh() {
 	clear(g.snapshot)
-	for m, l := range g.t.load {
-		g.snapshot[m] = l
+	for _, m := range sortedMonitors(g.t.load) {
+		g.snapshot[m] = g.t.load[m]
 	}
 }
 
@@ -245,10 +258,13 @@ func (r *RobinHood) Assign(flow FlowID, group []MonitorID, weight float64) (Moni
 	r.clock++
 
 	// Maintain the OPT estimate: it can never be less than the weight
-	// of any single job, nor less than (total load)/M.
+	// of any single job, nor less than (total load)/M. The sum walks
+	// sorted keys: float addition is not associative, so summing in map
+	// order would let the iteration order perturb the estimate — and
+	// with it the rich/poor split and the final assignment.
 	var total float64
-	for _, l := range r.t.load {
-		total += l
+	for _, m := range sortedMonitors(r.t.load) {
+		total += r.t.load[m]
 	}
 	lower := math.Max(weight, (total+weight)/float64(r.m))
 	for r.estimate < lower {

@@ -411,3 +411,61 @@ func TestSnapshotGreedyConvergesToGreedy(t *testing.T) {
 		}
 	}
 }
+
+// runWorkload drives one strategy through a fixed seeded workload of
+// assigns, removes, and (for SnapshotGreedy) periodic refreshes, and
+// returns the chosen monitor per flow.
+func runWorkload(t *testing.T, s Strategy, seed int64) []MonitorID {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	all := monitors(7)
+	var got []MonitorID
+	for f := 0; f < 500; f++ {
+		if sg, ok := s.(*SnapshotGreedy); ok && f%10 == 0 {
+			sg.Refresh()
+		}
+		group := all[:2+rng.Intn(len(all)-2)]
+		w := 0.1 + rng.Float64()
+		m, err := s.Assign(FlowID(f), group, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m)
+		if f > 0 && rng.Intn(4) == 0 {
+			if err := s.Remove(FlowID(rng.Intn(f))); err != nil {
+				// Already removed earlier; fine for this workload.
+				continue
+			}
+		}
+	}
+	return got
+}
+
+// TestAssignmentsDeterministicAcrossRuns is the regression test for the
+// unsorted-map-walk bugs: SnapshotGreedy.Refresh used to rebuild its
+// snapshot in map iteration order, and RobinHood.Assign summed float64
+// loads in map order (float addition is not associative), so identical
+// workloads could place flows differently from run to run. Every
+// strategy must now reproduce the exact same assignment sequence.
+func TestAssignmentsDeterministicAcrossRuns(t *testing.T) {
+	strategies := map[string]func() Strategy{
+		"greedy":    func() Strategy { return NewGreedy() },
+		"snapshot":  func() Strategy { return NewSnapshotGreedy() },
+		"robinhood": func() Strategy { return NewRobinHood(7) },
+		"random":    func() Strategy { return NewRandom(rand.New(rand.NewSource(11))) },
+	}
+	for name, mk := range strategies {
+		t.Run(name, func(t *testing.T) {
+			want := runWorkload(t, mk(), 42)
+			for run := 1; run <= 5; run++ {
+				got := runWorkload(t, mk(), 42)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("run %d: flow %d assigned to %d, first run assigned to %d",
+							run, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -7,6 +7,11 @@ import (
 	"repro/internal/rules"
 )
 
+// Alert timestamps come from an injected Clock (clock.go), never from
+// time.Now: wall-clock stamps made same-seed alert streams differ
+// byte-for-byte, which broke the reproducibility contract every
+// experiment relies on.
+
 // Alert is an issued intrusion alert.
 type Alert struct {
 	// Attack identifies the matched attack/rule.
@@ -17,7 +22,9 @@ type Alert struct {
 	Msg string
 	// Epoch is the inference round that produced the alert.
 	Epoch uint64
-	// Time is the wall-clock issue time.
+	// Time is the issue time as derived from the epoch by the
+	// controller's Clock — simulation time, not the wall clock, so
+	// same-seed runs emit identical alerts.
 	Time time.Time
 	// MatchedPackets is the estimated number of packets behind the
 	// alert (Σ c_i over matching centroids).
@@ -39,12 +46,15 @@ func (a *Alert) String() string {
 }
 
 // NewAlertFromMatch builds an alert from a plain (single-threshold)
-// match result.
-func NewAlertFromMatch(id rules.AttackID, epoch uint64, m *MatchResult) *Alert {
+// match result, stamping it via clk (nil selects DefaultClock).
+func NewAlertFromMatch(id rules.AttackID, epoch uint64, m *MatchResult, clk Clock) *Alert {
+	if clk == nil {
+		clk = DefaultClock
+	}
 	a := &Alert{
 		Attack:         id,
 		Epoch:          epoch,
-		Time:           time.Now(),
+		Time:           clk.At(epoch),
 		MatchedPackets: m.MatchedCount,
 		Variance:       m.Variance,
 	}
@@ -58,9 +68,10 @@ func NewAlertFromMatch(id rules.AttackID, epoch uint64, m *MatchResult) *Alert {
 	return a
 }
 
-// NewAlertFromFeedback builds an alert from a feedback-loop result.
-func NewAlertFromFeedback(id rules.AttackID, epoch uint64, r *FeedbackResult) *Alert {
-	a := NewAlertFromMatch(id, epoch, r.Stage2)
+// NewAlertFromFeedback builds an alert from a feedback-loop result,
+// stamping it via clk (nil selects DefaultClock).
+func NewAlertFromFeedback(id rules.AttackID, epoch uint64, r *FeedbackResult, clk Clock) *Alert {
+	a := NewAlertFromMatch(id, epoch, r.Stage2, clk)
 	a.Attack = id
 	a.ViaFeedback = r.Verdict == VerdictUncertain
 	return a

@@ -1,0 +1,33 @@
+package inference
+
+import "time"
+
+// Clock supplies alert timestamps. Deterministic deployments derive
+// the timestamp from the inference epoch so same-seed runs produce
+// byte-identical alert streams (ISSUE 3; enforced by the detrand
+// analyzer, which rejects time.Now in this package); a live deployment
+// can install a wall clock at the boundary instead.
+type Clock interface {
+	// At returns the timestamp for an alert raised in the given epoch.
+	At(epoch uint64) time.Time
+}
+
+// EpochClock is the deterministic Clock: Base + epoch·Interval, the
+// simulation-time reading of the controller's epoch counter.
+type EpochClock struct {
+	// Base anchors epoch 0.
+	Base time.Time
+	// Interval is the epoch length (the paper's controller polls every
+	// 2 s, §7).
+	Interval time.Duration
+}
+
+// At implements Clock.
+func (c EpochClock) At(epoch uint64) time.Time {
+	return c.Base.Add(time.Duration(epoch) * c.Interval)
+}
+
+// DefaultClock anchors simulation time at the Unix epoch with the
+// paper's 2-second controller cadence. It is what alert constructors
+// use when no clock is injected.
+var DefaultClock Clock = EpochClock{Base: time.Unix(0, 0).UTC(), Interval: 2 * time.Second}

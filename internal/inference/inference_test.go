@@ -371,9 +371,12 @@ func TestAlertConstruction(t *testing.T) {
 	agg, _ := AggregateSummaries([]*summary.Summary{sum})
 	q := synQuestion(t, 100).WithVariance(packet.FieldSrcIP, 0.01)
 	m := EstimateSimilarity(agg, q)
-	a := NewAlertFromMatch(rules.AttackDistributedSYNFlood, 3, m)
+	a := NewAlertFromMatch(rules.AttackDistributedSYNFlood, 3, m, nil)
 	if a.Attack != rules.AttackDistributedSYNFlood || a.Epoch != 3 {
 		t.Fatalf("alert = %+v", a)
+	}
+	if want := DefaultClock.At(3); !a.Time.Equal(want) {
+		t.Fatalf("alert time = %v, want epoch-derived %v", a.Time, want)
 	}
 	if a.SID != 1 {
 		t.Fatalf("sid = %d, want 1", a.SID)

@@ -17,10 +17,22 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/obs"
 	"repro/internal/topology"
 )
+
+// sortedNodes returns the load map's keys in ascending order — the
+// deterministic walk order for the float accumulations below.
+func sortedNodes(m map[topology.NodeID]float64) []topology.NodeID {
+	nodes := make([]topology.NodeID, 0, len(m))
+	for n := range m {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
 
 // Simulation observability: per-run link-utilization distribution and
 // the headline loss gauges. Gauges reflect the most recent Run — the
@@ -325,9 +337,12 @@ func (s *Simulator) Run(demands []Demand) (*Result, error) {
 	// capacity, every stream degrades proportionally.
 	substrateFactor := 1.0
 	if s.cfg.SubstrateCapacity > 0 {
+		// Sorted-key walk (mapiter): float addition is not associative,
+		// so a map-order sum would make the contention factor — and the
+		// whole run — vary across executions.
 		var totalWork float64
-		for _, l := range s.routerLoad {
-			totalWork += l
+		for _, node := range sortedNodes(s.routerLoad) {
+			totalWork += s.routerLoad[node]
 		}
 		if totalWork > s.cfg.SubstrateCapacity {
 			substrateFactor = s.cfg.SubstrateCapacity / totalWork
@@ -367,7 +382,11 @@ func (s *Simulator) Run(demands []Demand) (*Result, error) {
 	}
 
 	// Switch-centric throughput accounting (the paper's Fig. 7a metric).
-	for node, normal := range s.normalRouterLoad {
+	// Sorted-key walk (mapiter): both accumulators are float sums, so
+	// map-order iteration would leak the runtime's randomized order
+	// into the reported throughput.
+	for _, node := range sortedNodes(s.normalRouterLoad) {
+		normal := s.normalRouterLoad[node]
 		res.NormalSwitchWork += normal
 		factor := substrateFactor
 		if s.cfg.RouterCapacity > 0 {
@@ -398,6 +417,7 @@ func (s *Simulator) Run(demands []Demand) (*Result, error) {
 	// contains the replicated share.)
 
 	if obs.Enabled() {
+		//jaalvet:ignore mapiter — feeds only a histogram, whose bucket counts are order-independent; metrics never reach simulation outputs
 		for _, load := range s.linkLoad {
 			hLinkUtil.Observe(load / s.cfg.LinkCapacity)
 		}

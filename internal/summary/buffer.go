@@ -127,6 +127,9 @@ func (b *Buffer) RawBatch(epoch uint64) []packet.Header {
 // deployment).
 func (b *Buffer) AdvanceEpoch() uint64 {
 	b.tick++
+	// The expiry predicate is per-entry, so which order entries are
+	// visited cannot change which survive.
+	//jaalvet:ignore mapiter — per-entry expiry; the deletion set is independent of iteration order
 	for seq, rb := range b.retained {
 		if rb.sealedTick+1 < b.tick {
 			delete(b.retained, seq)

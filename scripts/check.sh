@@ -18,6 +18,14 @@ fi
 go vet ./...
 go build ./...
 
+# Project-specific invariants: determinism (no wall clock / global RNG /
+# unsorted map walks in reproducible packages), obs disabled-path
+# allocation freedom, atomic-access discipline, and wire decode
+# robustness. Any finding fails the build; reviewed exceptions carry a
+# //jaalvet:ignore <analyzer> — <reason> comment. See DESIGN.md
+# ("Static analysis").
+go run ./cmd/jaal-vet ./...
+
 # The determinism invariants first: these fail fast and carry the most
 # signal when instrumentation touches a hot path.
 go test -race -run 'TestPipelineParallelDeterminism|TestPipelineObsDeterminism' ./internal/core/

@@ -8,7 +8,17 @@
 //
 //	jaal-controller -monitors host1:7101,host2:7101 [-epoch 2s]
 //	                [-home 10.0.0.0/8] [-feedback]
+//	                [-timeout 10s] [-retries 5] [-backoff 100ms] [-backoff-max 5s]
+//	                [-alert-addr host:7200]
 //	                [-obs :9100] [-epochlog controller.jsonl]
+//
+// Every wire exchange runs under -timeout and survives connection loss:
+// a failed poll backs off (capped exponential, jittered), redials,
+// re-handshakes and retries up to -retries times. Monitors that stay
+// unreachable degrade the epoch — inference proceeds on whatever
+// arrived — rather than stalling it. -alert-addr ships each alert as a
+// MsgAlert frame to an alert sink (see core.AlertSink) under the same
+// retry policy.
 //
 // -obs enables metric collection and serves Prometheus-text
 // GET /metrics plus net/http/pprof on the given address (default off);
@@ -20,6 +30,7 @@ package main
 import (
 	"flag"
 	"log"
+	"math/rand"
 	"net"
 	"net/netip"
 	"os"
@@ -30,7 +41,6 @@ import (
 	"repro/internal/inference"
 	"repro/internal/obs"
 	"repro/internal/rules"
-	"repro/internal/summary"
 )
 
 func main() {
@@ -43,10 +53,25 @@ func main() {
 		tau2        = flag.Float64("tau2", 0.12, "feedback second-stage threshold τ_d2")
 		count2      = flag.Float64("count2", 0.55, "feedback second-stage τ_c relaxation (0–1]")
 		volume      = flag.Int("volume", 4000, "expected packets per epoch (scales volumetric count thresholds)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-exchange wire deadline (0 = none)")
+		retries     = flag.Int("retries", 5, "attempts per wire exchange, reconnects included")
+		backoff     = flag.Duration("backoff", 100*time.Millisecond, "backoff before the first retry")
+		backoffMax  = flag.Duration("backoff-max", 5*time.Second, "cap on the exponential backoff")
+		alertAddr   = flag.String("alert-addr", "", "ship alerts as MsgAlert frames to this sink address (empty = log only)")
 		obsAddr     = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (empty = observability off)")
 		epochLog    = flag.String("epochlog", "", "append JSON-lines epoch log to this file (empty = off)")
 	)
 	flag.Parse()
+
+	retry := core.RetryConfig{
+		Timeout:     *timeout,
+		Attempts:    *retries,
+		BackoffBase: *backoff,
+		BackoffMax:  *backoffMax,
+		// A live deployment wants desynchronized retries, not
+		// reproducibility; chaos tests inject their own seeded source.
+		Jitter: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 
 	if *obsAddr != "" {
 		addr, err := obs.Serve(*obsAddr)
@@ -104,13 +129,10 @@ func main() {
 		if addr == "" {
 			continue
 		}
-		conn, err := net.Dial("tcp", addr)
+		dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		rm, err := core.DialMonitorRetry(dial, retry)
 		if err != nil {
 			log.Fatalf("jaal-controller: dial %s: %v", addr, err)
-		}
-		rm, err := core.DialMonitor(conn)
-		if err != nil {
-			log.Fatalf("jaal-controller: hello %s: %v", addr, err)
 		}
 		ctrl.RegisterSource(rm.ID(), rm)
 		remotes = append(remotes, rm)
@@ -120,42 +142,59 @@ func main() {
 		log.Fatal("jaal-controller: no monitors")
 	}
 
-	log.Printf("polling %d monitors every %v (feedback=%v)", len(remotes), *epoch, *feedback)
+	var alertWriter *core.AlertWriter
+	if *alertAddr != "" {
+		dial := func() (net.Conn, error) { return net.Dial("tcp", *alertAddr) }
+		alertWriter = core.NewAlertWriter(dial, retry)
+		defer alertWriter.Close()
+		log.Printf("shipping alerts to %s", *alertAddr)
+	}
+
+	poller := &core.Poller{Remotes: remotes}
+	log.Printf("polling %d monitors every %v (feedback=%v, timeout=%v, retries=%d)",
+		len(remotes), *epoch, *feedback, *timeout, *retries)
 	ticker := time.NewTicker(*epoch)
 	defer ticker.Stop()
 	for range ticker.C {
 		pollStart := time.Now()
-		var all []*summary.Summary
-		for _, rm := range remotes {
-			ss, err := rm.PollSummaries(ctrl.Epoch())
-			if err != nil {
-				log.Printf("poll monitor %d: %v", rm.ID(), err)
-				continue
+		res := poller.Poll(ctrl.Epoch())
+		for _, d := range res.Declines {
+			if d.Unreachable() {
+				log.Printf("monitor %d unreachable for epoch %d: %v", d.MonitorID, d.Epoch, d.Err)
 			}
-			all = append(all, ss...)
+		}
+		if res.Degraded {
+			log.Printf("epoch %d degraded: proceeding with %d summaries", ctrl.Epoch(), len(res.Summaries))
 		}
 		pollDur := time.Since(pollStart)
 		inferStart := time.Now()
-		alerts, err := ctrl.ProcessEpoch(all)
+		alerts, err := ctrl.ProcessEpoch(res.Summaries)
 		if err != nil {
 			log.Printf("inference: %v", err)
 			continue
 		}
 		for _, a := range alerts {
 			log.Printf("%s", a)
+			if alertWriter != nil {
+				if err := alertWriter.Send(a); err != nil {
+					log.Printf("alert delivery: %v", err)
+				}
+			}
 		}
 		st := ctrl.Stats()
 		// Guarded (obshot): the KV literals and boxed values would
 		// allocate every epoch even with logging disabled.
 		if epochLogger != nil {
 			epochLogger.Log("controller", ctrl.Epoch()-1,
-				obs.KV{K: "summaries", V: len(all)},
+				obs.KV{K: "summaries", V: len(res.Summaries)},
+				obs.KV{K: "declines", V: len(res.Declines)},
+				obs.KV{K: "degraded", V: res.Degraded},
 				obs.KV{K: "alerts", V: len(alerts)},
 				obs.KV{K: "poll_ms", V: pollDur},
 				obs.KV{K: "infer_ms", V: time.Since(inferStart)},
 				obs.KV{K: "overhead_fraction", V: st.OverheadFraction()})
 		}
 		log.Printf("epoch %d: %d summaries, %d packets summarized, overhead %.1f%% of raw",
-			ctrl.Epoch()-1, len(all), st.PacketsSummarized, 100*st.OverheadFraction())
+			ctrl.Epoch()-1, len(res.Summaries), st.PacketsSummarized, 100*st.OverheadFraction())
 	}
 }

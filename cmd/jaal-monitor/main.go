@@ -48,6 +48,7 @@ func main() {
 		pps      = flag.Int("pps", 5000, "synthesized packets per second")
 		obsAddr  = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (empty = observability off)")
 		epochLog = flag.String("epochlog", "", "append JSON-lines epoch log to this file (empty = off)")
+		writeTO  = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline; a stalled controller cannot wedge a serving goroutine (0 = none)")
 	)
 	flag.Parse()
 
@@ -106,7 +107,7 @@ func main() {
 	log.Printf("jaal-monitor %d listening on %s (batch=%d rank=%d k=%d attack=%q)",
 		*id, ln.Addr(), *batch, *rank, *k, *attack)
 
-	srv := &core.MonitorServer{Monitor: mon, EpochLog: epochLogger}
+	srv := &core.MonitorServer{Monitor: mon, EpochLog: epochLogger, WriteTimeout: *writeTO}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {

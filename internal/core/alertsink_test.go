@@ -1,0 +1,112 @@
+package core
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/inference"
+	"repro/internal/obs"
+	"repro/internal/rules"
+	"repro/internal/wire"
+)
+
+// TestAlertWriterDeliversThroughFaults runs the controller→sink alert
+// path end to end: an AlertSink behind a TCP listener, an AlertWriter
+// whose first connection resets mid-send, and the delivery counter.
+func TestAlertWriterDeliversThroughFaults(t *testing.T) {
+	obs.SetEnabled(true)
+	defer func() { obs.SetEnabled(false); obs.ResetAll() }()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var mu sync.Mutex
+	var got []string
+	sink := &AlertSink{Handler: func(line string) {
+		mu.Lock()
+		got = append(got, line)
+		mu.Unlock()
+	}}
+	go sink.ListenAndServe(ln)
+
+	addr := ln.Addr().String()
+	// Connection 0 resets on its first write; the retry redials and
+	// connection 1 is clean.
+	dial := faultnet.Dialer(
+		func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		func(conn int) *faultnet.Plan {
+			if conn == 0 {
+				return faultnet.NewPlan(
+					faultnet.Fault{Op: faultnet.OpWrite, Index: 0, Kind: faultnet.KindReset})
+			}
+			return nil
+		},
+	)
+	w := NewAlertWriter(dial, RetryConfig{
+		Timeout: 2 * time.Second, Attempts: 3, Sleep: func(time.Duration) {},
+	})
+	defer w.Close()
+
+	before := cAlertsDelivered.Value()
+	alerts := []*inference.Alert{
+		{Attack: rules.AttackSYNFlood, SID: 10001, Epoch: 3, MatchedPackets: 1200, Msg: "SYN flood"},
+		{Attack: rules.AttackPortScan, SID: 10003, Epoch: 4, MatchedPackets: 88, Msg: "Port scan", Distributed: true},
+	}
+	for _, a := range alerts {
+		if err := w.Send(a); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == len(alerts) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sink received %d of %d alerts", n, len(alerts))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, a := range alerts {
+		if got[i] != a.String() {
+			t.Fatalf("alert %d arrived as %q, want %q", i, got[i], a.String())
+		}
+	}
+	if d := cAlertsDelivered.Value() - before; d != int64(len(alerts)) {
+		t.Fatalf("jaal_alerts_delivered_total advanced by %d, want %d", d, len(alerts))
+	}
+}
+
+// TestAlertSinkRejectsNonAlertFrames pins the fail-closed behaviour: a
+// sink fed any frame type other than MsgAlert drops the session with a
+// protocol error instead of ignoring it.
+func TestAlertSinkRejectsNonAlertFrames(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	sink := &AlertSink{}
+	errCh := make(chan error, 1)
+	go func() { errCh <- sink.Serve(server) }()
+	if err := wire.WriteFrame(client, wire.MsgHello, wire.EncodeHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("sink accepted a non-alert frame")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sink did not reject the frame")
+	}
+}

@@ -61,6 +61,25 @@ var (
 	gCompression = obs.NewGauge("jaal_controller_compression_ratio",
 		"cumulative (summary+feedback bytes)/raw-equivalent bytes, the Fig. 12 overhead")
 
+	// Wire transport fault tolerance. Reconnects count successful
+	// re-handshakes after a lost connection; deadline misses count
+	// exchanges that died on an armed I/O deadline; degraded epochs
+	// count inference rounds that proceeded without at least one
+	// monitor's summaries; serve errors count monitor-side sessions
+	// that ended on anything but a clean EOF.
+	cReconnects = obs.NewCounter("jaal_transport_reconnects_total",
+		"successful reconnect+rehandshake cycles after a lost monitor connection")
+	cDeadlineMisses = obs.NewCounter("jaal_transport_deadline_misses_total",
+		"wire exchanges aborted by an I/O deadline")
+	cServeErrors = obs.NewCounter("jaal_transport_serve_errors_total",
+		"monitor-side serve sessions ended by a non-EOF error")
+	cEpochDegraded = obs.NewCounter("jaal_epoch_degraded_total",
+		"epochs processed without summaries from at least one unreachable monitor")
+
+	// Alert sink delivery (the MsgAlert consumer).
+	cAlertsDelivered = obs.NewCounter("jaal_alerts_delivered_total",
+		"alert frames received and consumed by an AlertSink")
+
 	// Pipeline epoch stages.
 	hCollectSeconds = obs.NewHistogram("jaal_pipeline_collect_seconds",
 		"wall time of one monitor's summary collection during RunEpoch", obs.DurationBuckets())

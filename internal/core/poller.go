@@ -1,0 +1,90 @@
+package core
+
+import (
+	"repro/internal/par"
+	"repro/internal/summary"
+)
+
+// MonitorDecline records a monitor that contributed no summaries to an
+// epoch — either a genuine protocol decline (buffer below n_min, §5.1)
+// or a transport failure that exhausted the retry budget. The epoch
+// proceeds either way: partial data loss is the steady state of an
+// ISP-scale deployment, not an exception.
+type MonitorDecline struct {
+	// MonitorID identifies the monitor.
+	MonitorID int
+	// Epoch is the poll's epoch number.
+	Epoch uint64
+	// Pending is the monitor's reported buffered-packet count, when the
+	// decline came over the wire (zero for unreachable monitors).
+	Pending int
+	// Err is the transport error for an unreachable monitor; nil for a
+	// protocol decline.
+	Err error
+}
+
+// Unreachable reports whether the decline stands for a transport
+// failure rather than a protocol decline.
+func (d MonitorDecline) Unreachable() bool { return d.Err != nil }
+
+// Poller is the controller's fault-tolerant per-epoch poll fan-out: it
+// polls every remote monitor concurrently (each poll carrying its
+// handle's retry/timeout/backoff policy), joins the arrived summaries
+// in monitor order — so same inputs yield byte-identical epochs for
+// every worker count — and records the monitors that contributed
+// nothing as declines instead of failing the epoch.
+//
+// A poll in which at least one monitor was unreachable is a degraded
+// epoch: it increments jaal_epoch_degraded_total and is reported via
+// PollResult.Degraded, but still returns everything that arrived. That
+// is the graceful-degradation contract the chaos suite pins down: lost
+// monitors cost coverage, never liveness.
+type Poller struct {
+	// Remotes are the monitor handles, in join order.
+	Remotes []*RemoteMonitor
+	// Workers bounds the poll fan-out (0 = GOMAXPROCS).
+	Workers int
+}
+
+// PollResult is one epoch's poll outcome.
+type PollResult struct {
+	// Summaries holds every summary that arrived, joined in monitor
+	// order.
+	Summaries []*summary.Summary
+	// Declines records the monitors that contributed no summaries,
+	// protocol declines and transport failures both.
+	Declines []MonitorDecline
+	// Degraded reports whether at least one monitor was unreachable
+	// after retries.
+	Degraded bool
+}
+
+// Poll runs one epoch's summary collection. It never fails: transport
+// errors degrade the epoch rather than abort it.
+func (p *Poller) Poll(epoch uint64) PollResult {
+	perMon := make([][]*summary.Summary, len(p.Remotes))
+	pending := make([]int, len(p.Remotes))
+	errs := make([]error, len(p.Remotes))
+	par.For(len(p.Remotes), p.Workers, func(i int) {
+		perMon[i], pending[i], errs[i] = p.Remotes[i].Poll(epoch)
+	})
+
+	var res PollResult
+	for i, rm := range p.Remotes {
+		switch {
+		case errs[i] != nil:
+			res.Declines = append(res.Declines, MonitorDecline{
+				MonitorID: rm.ID(), Epoch: epoch, Err: errs[i]})
+			res.Degraded = true
+		case len(perMon[i]) == 0:
+			res.Declines = append(res.Declines, MonitorDecline{
+				MonitorID: rm.ID(), Epoch: epoch, Pending: pending[i]})
+		default:
+			res.Summaries = append(res.Summaries, perMon[i]...)
+		}
+	}
+	if res.Degraded {
+		cEpochDegraded.Inc()
+	}
+	return res
+}

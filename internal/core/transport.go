@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -16,19 +17,30 @@ import (
 
 // MonitorServer exposes a Monitor over the wire protocol: it answers the
 // controller's load queries, summary polls and raw-batch requests on a
-// single long-lived connection (§7).
+// single long-lived connection (§7). A controller that loses the
+// connection reconnects and re-handshakes; the server treats every
+// accepted connection as a fresh session.
 type MonitorServer struct {
 	Monitor *Monitor
 	// EpochLog, when non-nil, receives one structured record per
 	// summary poll: the monitor-side epoch log of a wire deployment.
 	EpochLog *obs.EpochLogger
+	// WriteTimeout bounds each response write so a stalled controller
+	// cannot wedge the serving goroutine forever. Zero disables the
+	// deadline.
+	WriteTimeout time.Duration
 }
 
 // Serve handles one controller connection until EOF or error. It sends
-// the hello, then answers requests synchronously.
+// the hello, then answers requests synchronously. Errors other than a
+// clean EOF are counted (jaal_transport_serve_errors_total) and
+// wrapped with the message type being served when one is known, so an
+// operator log names the failing request rather than a bare I/O error.
 func (s *MonitorServer) Serve(conn net.Conn) error {
+	s.armWriteDeadline(conn)
 	if err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHello(s.Monitor.ID())); err != nil {
-		return err
+		cServeErrors.Inc()
+		return fmt.Errorf("core: monitor %d: hello: %w", s.Monitor.ID(), err)
 	}
 	for {
 		msg, err := wire.ReadFrame(conn)
@@ -36,11 +48,22 @@ func (s *MonitorServer) Serve(conn net.Conn) error {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
-			return err
+			cServeErrors.Inc()
+			return fmt.Errorf("core: monitor %d: read frame: %w", s.Monitor.ID(), err)
 		}
+		s.armWriteDeadline(conn)
 		if err := s.handle(conn, msg); err != nil {
-			return err
+			cServeErrors.Inc()
+			return fmt.Errorf("core: monitor %d: serving %s: %w", s.Monitor.ID(), msg.Type, err)
 		}
+	}
+}
+
+// armWriteDeadline pushes the write deadline forward before a response
+// burst; it is a no-op without a configured timeout.
+func (s *MonitorServer) armWriteDeadline(conn net.Conn) {
+	if s.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout)) //jaalvet:ignore detrand — I/O deadline arming; alerts and summaries never carry this timestamp
 	}
 }
 
@@ -121,119 +144,354 @@ func (s *MonitorServer) handle(conn net.Conn, msg *wire.Message) error {
 	}
 }
 
+// DialFunc produces one fresh connection to a monitor (or alert sink).
+// The transport calls it for the initial connect and for every
+// reconnect after a failed exchange; tests wrap the returned conn in a
+// faultnet fault plan.
+type DialFunc func() (net.Conn, error)
+
+// RetryConfig tunes the fault-tolerance of a wire client: per-exchange
+// deadlines, how often a failed exchange is retried across reconnects,
+// and the capped exponential backoff (with seeded jitter) between
+// attempts. The zero value means one attempt, no deadline, no backoff
+// — the pre-fault-tolerance behaviour.
+type RetryConfig struct {
+	// Timeout bounds one full request–response exchange (every
+	// ReadFrame/WriteFrame of it). Zero disables deadlines.
+	Timeout time.Duration
+	// Attempts is the total tries per exchange, reconnects included.
+	// Values below 1 mean 1.
+	Attempts int
+	// BackoffBase is the sleep before the first retry; attempt n waits
+	// min(BackoffBase·2ⁿ, BackoffMax). Zero disables backoff sleeps.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential growth. Zero means no cap.
+	BackoffMax time.Duration
+	// Jitter, when non-nil, adds a uniformly drawn 0–50 % of each
+	// backoff. It must be a seeded private source so same-seed chaos
+	// runs replay the same schedule; the transport never touches the
+	// global RNG.
+	Jitter *rand.Rand
+	// Sleep implements the backoff wait; nil selects time.Sleep.
+	// Tests inject a recorder to assert the schedule without paying it.
+	Sleep func(time.Duration)
+}
+
+// attempts returns the effective attempt budget.
+func (rc RetryConfig) attempts() int {
+	if rc.Attempts < 1 {
+		return 1
+	}
+	return rc.Attempts
+}
+
+// backoff returns the wait before retry n (0-based), jitter included.
+func (rc RetryConfig) backoff(n int) time.Duration {
+	if rc.BackoffBase <= 0 {
+		return 0
+	}
+	d := rc.BackoffBase
+	for i := 0; i < n && (rc.BackoffMax <= 0 || d < rc.BackoffMax); i++ {
+		d *= 2
+	}
+	if rc.BackoffMax > 0 && d > rc.BackoffMax {
+		d = rc.BackoffMax
+	}
+	if rc.Jitter != nil && d > 0 {
+		d += time.Duration(rc.Jitter.Int63n(int64(d)/2 + 1))
+	}
+	return d
+}
+
+// sleep waits for d via the configured sleeper.
+func (rc RetryConfig) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if rc.Sleep != nil {
+		rc.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
 // RemoteMonitor is the controller-side handle to a monitor reached over
 // the wire protocol. It implements RawSource so the feedback loop can
 // fetch raw packets transparently.
+//
+// With a DialFunc and RetryConfig (DialMonitorRetry), every exchange
+// runs under a deadline and survives connection loss: a failed
+// exchange closes the connection, backs off, redials, re-handshakes
+// via MsgHello — verifying the monitor identity is unchanged — and
+// retries, up to the attempt budget. Without them (DialMonitor) the
+// handle keeps the original single-connection, fail-fast behaviour.
 type RemoteMonitor struct {
-	id int
+	id    int
+	dial  DialFunc
+	retry RetryConfig
 
 	mu   sync.Mutex
 	conn net.Conn
+	// everConnected distinguishes a lazy handle's first connect from a
+	// true reconnect, so jaal_transport_reconnects_total counts only
+	// recoveries.
+	everConnected bool
 }
 
-// DialMonitor connects to a monitor server and completes the hello.
+// DialMonitor completes the hello on an established connection. The
+// resulting handle has no redial path: the first failed exchange
+// surfaces its error, as before fault tolerance existed.
 func DialMonitor(conn net.Conn) (*RemoteMonitor, error) {
-	msg, err := wire.ReadFrame(conn)
+	id, err := readHello(conn)
 	if err != nil {
-		return nil, fmt.Errorf("core: hello: %w", err)
-	}
-	if msg.Type != wire.MsgHello {
-		return nil, fmt.Errorf("core: expected hello, got %v", msg.Type)
-	}
-	id, err := wire.DecodeHello(msg.Payload)
-	if err != nil {
+		conn.Close()
 		return nil, err
 	}
-	return &RemoteMonitor{id: id, conn: conn}, nil
+	return &RemoteMonitor{id: id, conn: conn, everConnected: true}, nil
+}
+
+// NewRemoteMonitor builds a handle for a monitor whose identity is
+// known from deployment configuration, without requiring it to be
+// reachable yet: the connection is established lazily by the first
+// exchange, under the retry policy. This is how a controller starts
+// against a monitor fleet where some members may be down — a dead
+// monitor costs declines, not startup.
+func NewRemoteMonitor(id int, dial DialFunc, rc RetryConfig) *RemoteMonitor {
+	return &RemoteMonitor{id: id, dial: dial, retry: rc}
+}
+
+// DialMonitorRetry connects to a monitor through dial under the given
+// retry policy: the initial connect gets the same attempt budget,
+// deadline and backoff as every later exchange.
+func DialMonitorRetry(dial DialFunc, rc RetryConfig) (*RemoteMonitor, error) {
+	var (
+		conn    net.Conn
+		id      int
+		lastErr error
+	)
+	for attempt := 0; attempt < rc.attempts(); attempt++ {
+		if attempt > 0 {
+			rc.sleep(rc.backoff(attempt - 1))
+		}
+		var err error
+		conn, id, err = dialHello(dial, rc.Timeout)
+		if err == nil {
+			return &RemoteMonitor{id: id, dial: dial, retry: rc, conn: conn, everConnected: true}, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("core: dial monitor: %w", lastErr)
+}
+
+// readHello consumes the server's opening hello under an optional
+// deadline already armed by the caller.
+func readHello(conn net.Conn) (int, error) {
+	msg, err := wire.ReadFrame(conn)
+	if err != nil {
+		return 0, fmt.Errorf("core: hello: %w", err)
+	}
+	if msg.Type != wire.MsgHello {
+		return 0, fmt.Errorf("core: expected hello, got %v", msg.Type)
+	}
+	return wire.DecodeHello(msg.Payload)
+}
+
+// dialHello dials and completes the handshake, applying timeout to the
+// dial-to-hello window.
+func dialHello(dial DialFunc, timeout time.Duration) (net.Conn, int, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, 0, err
+	}
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout)) //jaalvet:ignore detrand — I/O deadline arming; no protocol payload carries this timestamp
+	}
+	id, err := readHello(conn)
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	if timeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	return conn, id, nil
 }
 
 // ID returns the remote monitor's identity.
 func (r *RemoteMonitor) ID() int { return r.id }
 
-// QueryLoad polls the monitor's load counter.
-func (r *RemoteMonitor) QueryLoad() (float64, error) {
+// exchange runs one request–response interaction under the retry
+// policy: arm the deadline, run fn, and on failure close the
+// connection, back off, reconnect (re-handshaking and checking the
+// monitor ID), and try fn again on the fresh connection. fn must be
+// restartable from its first frame — the wire protocol is
+// request-driven, so re-sending the request on a new connection is
+// always safe at the protocol level.
+func (r *RemoteMonitor) exchange(fn func(conn net.Conn) error) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := wire.WriteFrame(r.conn, wire.MsgLoadQuery, nil); err != nil {
-		return 0, err
+	var lastErr error
+	for attempt := 0; attempt < r.retry.attempts(); attempt++ {
+		if attempt > 0 {
+			r.retry.sleep(r.retry.backoff(attempt - 1))
+		}
+		if r.conn == nil {
+			if r.dial == nil {
+				break // no redial path: surface the first error
+			}
+			conn, id, err := dialHello(r.dial, r.retry.Timeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if id != r.id {
+				conn.Close()
+				lastErr = fmt.Errorf("core: reconnect reached monitor %d, want %d", id, r.id)
+				continue
+			}
+			r.conn = conn
+			if r.everConnected {
+				cReconnects.Inc()
+			}
+			r.everConnected = true
+		}
+		if r.retry.Timeout > 0 {
+			r.conn.SetDeadline(time.Now().Add(r.retry.Timeout)) //jaalvet:ignore detrand — I/O deadline arming; no protocol payload carries this timestamp
+		}
+		err := fn(r.conn)
+		if err == nil {
+			if r.retry.Timeout > 0 {
+				r.conn.SetDeadline(time.Time{})
+			}
+			return nil
+		}
+		lastErr = err
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			cDeadlineMisses.Inc()
+		}
+		r.conn.Close()
+		r.conn = nil
 	}
-	msg, err := wire.ReadFrame(r.conn)
-	if err != nil {
-		return 0, err
+	if lastErr == nil {
+		lastErr = fmt.Errorf("core: monitor %d unreachable", r.id)
 	}
-	if msg.Type != wire.MsgLoadReport {
-		return 0, fmt.Errorf("core: expected load report, got %v", msg.Type)
-	}
-	_, load, err := wire.DecodeLoadReport(msg.Payload)
+	return lastErr
+}
+
+// QueryLoad polls the monitor's load counter.
+func (r *RemoteMonitor) QueryLoad() (float64, error) {
+	var load float64
+	err := r.exchange(func(conn net.Conn) error {
+		if err := wire.WriteFrame(conn, wire.MsgLoadQuery, nil); err != nil {
+			return err
+		}
+		msg, err := wire.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		if msg.Type != wire.MsgLoadReport {
+			return fmt.Errorf("core: expected load report, got %v", msg.Type)
+		}
+		_, load, err = wire.DecodeLoadReport(msg.Payload)
+		return err
+	})
 	return load, err
+}
+
+// Poll asks the monitor for its queued summaries for the given epoch.
+// A declining monitor yields an empty slice; pending is the monitor's
+// reported count of buffered-but-unsummarized packets, from the
+// decline frame that terminates every poll.
+func (r *RemoteMonitor) Poll(epoch uint64) (ss []*summary.Summary, pending int, err error) {
+	err = r.exchange(func(conn net.Conn) error {
+		ss, pending = nil, 0 // restart cleanly on retry
+		if err := wire.WriteFrame(conn, wire.MsgSummaryRequest, wire.EncodeSummaryRequest(epoch)); err != nil {
+			return err
+		}
+		for {
+			msg, err := wire.ReadFrame(conn)
+			if err != nil {
+				return err
+			}
+			switch msg.Type {
+			case wire.MsgSummary:
+				s, err := summary.Unmarshal(msg.Payload)
+				if err != nil {
+					return err
+				}
+				ss = append(ss, s)
+			case wire.MsgSummaryDecline:
+				_, _, pending, err = wire.DecodeSummaryDecline(msg.Payload)
+				return err
+			default:
+				return fmt.Errorf("core: expected summary, got %v", msg.Type)
+			}
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return ss, pending, nil
 }
 
 // PollSummaries asks the monitor for its queued summaries for the given
 // epoch. A declining monitor yields an empty slice.
 func (r *RemoteMonitor) PollSummaries(epoch uint64) ([]*summary.Summary, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := wire.WriteFrame(r.conn, wire.MsgSummaryRequest, wire.EncodeSummaryRequest(epoch)); err != nil {
-		return nil, err
-	}
-	var out []*summary.Summary
-	for {
-		msg, err := wire.ReadFrame(r.conn)
-		if err != nil {
-			return nil, err
-		}
-		switch msg.Type {
-		case wire.MsgSummary:
-			s, err := summary.Unmarshal(msg.Payload)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, s)
-		case wire.MsgSummaryDecline:
-			return out, nil
-		default:
-			return nil, fmt.Errorf("core: expected summary, got %v", msg.Type)
-		}
-	}
+	ss, _, err := r.Poll(epoch)
+	return ss, err
 }
 
 // FinerSummary asks the remote monitor to re-summarize a retained batch
 // at higher resolution. A nil summary with nil error means the batch
 // expired or the request was declined.
 func (r *RemoteMonitor) FinerSummary(epoch uint64, k int) (*summary.Summary, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := wire.WriteFrame(r.conn, wire.MsgFinerRequest, wire.EncodeFinerRequest(epoch, k)); err != nil {
-		return nil, err
-	}
-	msg, err := wire.ReadFrame(r.conn)
+	var fs *summary.Summary
+	err := r.exchange(func(conn net.Conn) error {
+		fs = nil
+		if err := wire.WriteFrame(conn, wire.MsgFinerRequest, wire.EncodeFinerRequest(epoch, k)); err != nil {
+			return err
+		}
+		msg, err := wire.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch msg.Type {
+		case wire.MsgSummary:
+			fs, err = summary.Unmarshal(msg.Payload)
+			return err
+		case wire.MsgSummaryDecline:
+			return nil
+		default:
+			return fmt.Errorf("core: expected finer summary, got %v", msg.Type)
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	switch msg.Type {
-	case wire.MsgSummary:
-		return summary.Unmarshal(msg.Payload)
-	case wire.MsgSummaryDecline:
-		return nil, nil
-	default:
-		return nil, fmt.Errorf("core: expected finer summary, got %v", msg.Type)
-	}
+	return fs, nil
 }
 
 // RawPackets implements RawSource over the wire. Errors surface as an
 // empty batch; the feedback loop treats missing raw data as
 // non-confirming, the safe default.
 func (r *RemoteMonitor) RawPackets(epoch uint64, centroid int) []packet.Header {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := wire.WriteFrame(r.conn, wire.MsgRawRequest, wire.EncodeRawRequest(epoch, centroid)); err != nil {
-		return nil
-	}
-	msg, err := wire.ReadFrame(r.conn)
-	if err != nil || msg.Type != wire.MsgRawBatch {
-		return nil
-	}
-	hs, err := packet.DecodeBatch(msg.Payload)
+	var hs []packet.Header
+	err := r.exchange(func(conn net.Conn) error {
+		hs = nil
+		if err := wire.WriteFrame(conn, wire.MsgRawRequest, wire.EncodeRawRequest(epoch, centroid)); err != nil {
+			return err
+		}
+		msg, err := wire.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		if msg.Type != wire.MsgRawBatch {
+			return fmt.Errorf("core: expected raw batch, got %v", msg.Type)
+		}
+		hs, err = packet.DecodeBatch(msg.Payload)
+		return err
+	})
 	if err != nil {
 		return nil
 	}
@@ -241,4 +499,13 @@ func (r *RemoteMonitor) RawPackets(epoch uint64, centroid int) []packet.Header {
 }
 
 // Close closes the underlying connection.
-func (r *RemoteMonitor) Close() error { return r.conn.Close() }
+func (r *RemoteMonitor) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		return nil
+	}
+	err := r.conn.Close()
+	r.conn = nil
+	return err
+}

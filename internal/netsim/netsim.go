@@ -124,6 +124,20 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Survival returns the fraction of offered traffic that survives a
+// resource of the given capacity under the simulator's proportional
+// (fluid) loss model: 1 while the offer fits, capacity/offered past
+// saturation. Run applies it per hop to links and routers; it is
+// exported so fault-injection presets (internal/faultnet) derive their
+// frame-loss probabilities from the same loss model the evaluation
+// scenarios use.
+func Survival(offered, capacity float64) float64 {
+	if capacity <= 0 || offered <= capacity {
+		return 1
+	}
+	return capacity / offered
+}
+
 // Demand is one aggregate traffic demand between two gateways.
 type Demand struct {
 	Src, Dst topology.NodeID
@@ -360,18 +374,14 @@ func (s *Simulator) Run(demands []Demand) (*Result, error) {
 		p := 1.0
 		for i := 1; i < len(path); i++ {
 			load := s.linkLoad[[2]topology.NodeID{path[i-1], path[i]}]
-			if load > s.cfg.LinkCapacity {
-				p *= s.cfg.LinkCapacity / load
-			}
+			p *= Survival(load, s.cfg.LinkCapacity)
 			if u := load / s.cfg.LinkCapacity; u > res.WorstLinkUtilization {
 				res.WorstLinkUtilization = u
 			}
 		}
 		if s.cfg.RouterCapacity > 0 {
 			for _, node := range path {
-				if load := s.routerLoad[node]; load > s.cfg.RouterCapacity {
-					p *= s.cfg.RouterCapacity / load
-				}
+				p *= Survival(s.routerLoad[node], s.cfg.RouterCapacity)
 			}
 		}
 		return p * substrateFactor
@@ -390,9 +400,7 @@ func (s *Simulator) Run(demands []Demand) (*Result, error) {
 		res.NormalSwitchWork += normal
 		factor := substrateFactor
 		if s.cfg.RouterCapacity > 0 {
-			if total := s.routerLoad[node]; total > s.cfg.RouterCapacity {
-				factor *= s.cfg.RouterCapacity / total
-			}
+			factor *= Survival(s.routerLoad[node], s.cfg.RouterCapacity)
 		}
 		res.NormalSwitchWorkDone += normal * factor
 	}
@@ -404,12 +412,8 @@ func (s *Simulator) Run(demands []Demand) (*Result, error) {
 	}
 
 	// Engine drop: proportional past capacity.
-	res.EngineProcessedRate = res.EngineReceivedRate
-	attackFrac := 1.0
-	if res.EngineReceivedRate > s.cfg.EngineCapacity {
-		attackFrac = s.cfg.EngineCapacity / res.EngineReceivedRate
-		res.EngineProcessedRate = s.cfg.EngineCapacity
-	}
+	attackFrac := Survival(res.EngineReceivedRate, s.cfg.EngineCapacity)
+	res.EngineProcessedRate = res.EngineReceivedRate * attackFrac
 	res.AttackProcessedRate = engineAttack * attackFrac
 	// Attack traffic that was never replicated is also invisible: scale
 	// by the replication fraction itself.

@@ -10,6 +10,7 @@ import (
 func Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		sampleRuntime()
 		WritePrometheus(w)
 	})
 }

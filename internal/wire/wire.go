@@ -14,6 +14,7 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -114,6 +115,15 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	return nil
 }
 
+// frameAllocChunk caps how much ReadFrame allocates ahead of the bytes
+// actually delivered. Every legitimate frame in the deployment
+// (summaries ~10 KB, raw batches ~16 KB) fits one chunk and takes the
+// single-allocation fast path; a corrupt or hostile header claiming up
+// to MaxFrameSize grows the buffer only as payload bytes arrive, so a
+// lying length prefix costs one chunk of memory, not 64 MB
+// (FuzzReadFrame pins this down).
+const frameAllocChunk = 64 << 10
+
 // ReadFrame reads one frame from r.
 func ReadFrame(r io.Reader) (*Message, error) {
 	var hdr [5]byte
@@ -125,11 +135,23 @@ func ReadFrame(r io.Reader) (*Message, error) {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
 	msg := &Message{Type: MsgType(hdr[4])}
-	if n > 0 {
+	switch {
+	case n == 0:
+	case n <= frameAllocChunk:
 		msg.Payload = make([]byte, n)
 		if _, err := io.ReadFull(r, msg.Payload); err != nil {
 			return nil, fmt.Errorf("wire: read payload: %w", err)
 		}
+	default:
+		var buf bytes.Buffer
+		buf.Grow(frameAllocChunk)
+		if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("wire: read payload: %w", err)
+		}
+		msg.Payload = buf.Bytes()
 	}
 	rxCounters.count(msg.Type, len(msg.Payload))
 	return msg, nil

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Long-run soak: drives the seeded wire pipeline for SOAK_DURATION
+# (default 2m) while scraping its /metrics endpoint, and fails on
+# goroutine growth, unbounded arena chunk allocation, or heap growth.
+#
+# Usage:
+#   ./scripts/soak.sh              # 2-minute soak
+#   SOAK_DURATION=10m ./scripts/soak.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export SOAK_DURATION="${SOAK_DURATION:-2m}"
+echo "== soak: ${SOAK_DURATION} =="
+go test -tags soak -run TestSoakSteadyState -v -timeout 0 ./internal/core/

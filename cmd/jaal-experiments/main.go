@@ -7,8 +7,9 @@
 //	jaal-experiments [-quick] <experiment>
 //
 // where <experiment> is one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// fig11 table1 headline varest adaptive multiwindow encoding coverage
-// sketchcost batchsize all.
+// fig11 table1 headline varest adaptive adapt multiwindow encoding
+// coverage sketchcost batchsize all. ("adaptive" is the evasive-attacker
+// ablation; "adapt" is the adaptive-threshold trajectory of ISSUE 5.)
 //
 // -quick reduces trial counts for a fast smoke run; the default scale
 // mirrors the paper's averaging (15 runs per point).
@@ -29,7 +30,7 @@ func main() {
 	stats := flag.Bool("stats", false, "collect runtime metrics and print the observability summary table to stderr")
 	topoNum := flag.Int("topology", 1, "topology for fig7/fig9: 1 (Abovenet-like) or 2 (Exodus-like)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: jaal-experiments [-quick] <fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|headline|varest|adaptive|multiwindow|encoding|coverage|sketchcost|batchsize|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: jaal-experiments [-quick] <fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|headline|varest|adaptive|adapt|multiwindow|encoding|coverage|sketchcost|batchsize|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -117,6 +118,9 @@ func run(name string, sc experiments.Scale, quick bool, top *topology.Topology) 
 		}
 		_, tbl, err := experiments.AdaptiveAttacker(trials)
 		return render(tbl, err)
+	case "adapt":
+		_, tbl, err := experiments.AdaptTrajectory(sc)
+		return render(tbl, err)
 	case "multiwindow":
 		trials := 15
 		if quick {
@@ -144,7 +148,7 @@ func run(name string, sc experiments.Scale, quick bool, top *topology.Topology) 
 		for _, sub := range []string{
 			"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 			"fig10", "fig11", "table1", "headline", "varest",
-			"adaptive", "multiwindow", "encoding",
+			"adaptive", "adapt", "multiwindow", "encoding",
 			"coverage", "sketchcost", "batchsize",
 		} {
 			if err := run(sub, sc, quick, top); err != nil {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/analysis/lockcopy"
 	"repro/internal/analysis/mapiter"
 	"repro/internal/analysis/obshot"
+	"repro/internal/analysis/unusedhelper"
 	"repro/internal/analysis/wireerr"
 )
 
@@ -36,6 +37,7 @@ var all = []*analysis.Analyzer{
 	lockcopy.Analyzer,
 	mapiter.Analyzer,
 	obshot.Analyzer,
+	unusedhelper.Analyzer,
 	wireerr.Analyzer,
 }
 

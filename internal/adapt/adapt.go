@@ -1,0 +1,438 @@
+// Package adapt drives the feedback loop's operating point from live
+// telemetry instead of static config: the paper's two thresholds τ_d1
+// and τ_d2 plus the stage-2 count relaxation (§5.3, Fig. 3) are the
+// knob trading detection accuracy against raw-packet communication
+// overhead, and an ISP-scale deployment cannot freeze that knob at
+// controller start — traffic mix, attack prevalence and the fetch
+// budget all drift.
+//
+// Once per epoch the controller hands the adapter the same per-epoch
+// quantities that feed the obs layer's
+// jaal_controller_feedback_verdicts_total and
+// jaal_controller_feedback_raw_packets_total counters — the verdict of
+// every feedback question and the epoch's deduplicated raw-fetch bytes
+// — and the adapter nudges each attack's inference.FeedbackConfig:
+//
+//   - Over budget: raw pulls exceeded the configured byte budget, so
+//     the uncertain band narrows (τ_d2 down toward τ_d1, CountScale2
+//     up toward 1) for the attacks that went uncertain, bounding the
+//     §5.3 overhead.
+//   - Refuted uncertainty: a raw re-analysis cleared an uncertain
+//     verdict — stage 2 cried wolf — so that attack's band narrows.
+//   - Confirmed uncertainty: the raw packets confirmed the attack, so
+//     τ_d1 rises toward τ_d2; future instances alert directly from the
+//     summary without spending fetch budget.
+//   - Idle: verdicts all clear and the budget untouched for WidenAfter
+//     consecutive epochs — the band widens (τ_d2 up, CountScale2 down,
+//     τ_d1 down), recovering TPR headroom.
+//
+// Hysteresis around the budget and hard floors/ceilings (Limits) keep
+// the loop from chattering and guarantee τ_d1 + MinGap ≤ τ_d2 at all
+// times, so every emitted config passes FeedbackConfig.Validate and
+// never degenerates into the empty-band misconfiguration Validate
+// rejects.
+//
+// Determinism is load-bearing, exactly as for the rest of the
+// controller: the adapter consumes only per-epoch values that are
+// identical for every worker count (sorted verdicts, deduplicated byte
+// totals), iterates attacks in sorted ID order, and draws its step
+// dither from a seeded splitmix64 stream — so same-seed runs produce
+// byte-identical threshold trajectories (TestAdaptDeterministic...).
+// It deliberately does NOT read the obs counters themselves: metrics
+// stay a write-only side channel (collection may be disabled), the
+// adapter is fed the underlying values directly.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/inference"
+	"repro/internal/obs"
+	"repro/internal/rules"
+)
+
+// Limits are the hard floors and ceilings the control law clamps to.
+// They, not the nudges, own the safety argument: whatever the
+// telemetry says, τ_d1 ∈ [MinTauD1, τ_d2 − MinGap], τ_d2 ∈
+// [MinTauD1 + MinGap, MaxTauD2] and CountScale2 ∈ [MinCountScale2, 1].
+type Limits struct {
+	// MinTauD1 is the floor for the first-stage threshold.
+	MinTauD1 float64
+	// MaxTauD2 is the ceiling for the second-stage threshold; past it
+	// stage 2 matches background noise and every epoch fetches.
+	MaxTauD2 float64
+	// MinGap is the minimum τ_d2 − τ_d1. A positive gap keeps the
+	// uncertain band open, so configs never degenerate.
+	MinGap float64
+	// MinCountScale2 is the most aggressive stage-2 count relaxation
+	// the adapter may reach (CountScale2 shrinks toward it as the band
+	// widens).
+	MinCountScale2 float64
+}
+
+// DefaultLimits returns limits sized for the library's normalized
+// distance scale (the Fig. 6 sweep spans τ_d2 ∈ [0.02, 0.3]).
+func DefaultLimits() Limits {
+	return Limits{MinTauD1: 0.001, MaxTauD2: 0.4, MinGap: 0.005, MinCountScale2: 0.25}
+}
+
+// Config parameterizes the adapter.
+type Config struct {
+	// RawByteBudget is the per-epoch budget for feedback raw-fetch
+	// bytes (the §5.3 communication overhead). Zero disables the
+	// budget pressure; the verdict-driven nudges still run.
+	RawByteBudget int
+	// TargetUncertain is the desired per-attack uncertain-verdict rate
+	// (EWMA). Above it the band narrows even inside budget — a loop
+	// that resolves every epoch by pulling raw packets has its τ_d1
+	// set too tight.
+	TargetUncertain float64
+	// Step is the relative nudge applied per adjustment, e.g. 0.1.
+	Step float64
+	// Hysteresis is the relative dead band around RawByteBudget and
+	// TargetUncertain inside which no adjustment fires.
+	Hysteresis float64
+	// SmoothingAlpha is the EWMA coefficient for the per-attack
+	// uncertain rate (0 < α ≤ 1; higher weighs the newest epoch more).
+	SmoothingAlpha float64
+	// WidenAfter is how many consecutive idle epochs (verdict clear,
+	// budget untouched) an attack accumulates before its band widens.
+	WidenAfter int
+	// Limits are the hard floors and ceilings.
+	Limits Limits
+	// Seed feeds the deterministic step-dither stream. Same seed, same
+	// telemetry ⇒ same trajectory.
+	Seed int64
+}
+
+// DefaultConfig returns a conservative adapter configuration around the
+// given per-epoch raw-fetch byte budget.
+func DefaultConfig(budget int) Config {
+	return Config{
+		RawByteBudget:   budget,
+		TargetUncertain: 0.25,
+		Step:            0.10,
+		Hysteresis:      0.15,
+		SmoothingAlpha:  0.30,
+		WidenAfter:      3,
+		Limits:          DefaultLimits(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.RawByteBudget < 0 {
+		return fmt.Errorf("adapt: negative raw byte budget %d", c.RawByteBudget)
+	}
+	if c.Step < 0 || c.Step >= 1 {
+		return fmt.Errorf("adapt: step %v outside [0,1)", c.Step)
+	}
+	if c.Hysteresis < 0 || c.Hysteresis >= 1 {
+		return fmt.Errorf("adapt: hysteresis %v outside [0,1)", c.Hysteresis)
+	}
+	if c.SmoothingAlpha <= 0 || c.SmoothingAlpha > 1 {
+		return fmt.Errorf("adapt: smoothing α %v outside (0,1]", c.SmoothingAlpha)
+	}
+	if c.TargetUncertain < 0 || c.TargetUncertain > 1 {
+		return fmt.Errorf("adapt: target uncertain rate %v outside [0,1]", c.TargetUncertain)
+	}
+	if c.WidenAfter < 1 {
+		return fmt.Errorf("adapt: widen-after %d must be ≥ 1", c.WidenAfter)
+	}
+	l := c.Limits
+	if l.MinTauD1 < 0 || l.MinGap <= 0 || l.MaxTauD2 <= l.MinTauD1+l.MinGap {
+		return fmt.Errorf("adapt: limits need 0 ≤ MinTauD1, 0 < MinGap, MinTauD1+MinGap < MaxTauD2; got %+v", l)
+	}
+	if l.MinCountScale2 < 0 || l.MinCountScale2 > 1 {
+		return fmt.Errorf("adapt: MinCountScale2 %v outside [0,1]", l.MinCountScale2)
+	}
+	return nil
+}
+
+// AttackSample is one attack's feedback outcome for one epoch. Only
+// fields that are deterministic for every worker count belong here —
+// per-question transfer attribution is not (whichever question races
+// first pays the bytes), so the byte total lives on EpochSample.
+type AttackSample struct {
+	// Verdict is the §5.3 case the feedback loop landed in.
+	Verdict inference.Verdict
+	// Alerted is the final decision; for uncertain verdicts it tells
+	// confirmed (raw analysis saw the attack) from refuted.
+	Alerted bool
+}
+
+// EpochSample is one epoch's telemetry: the same quantities the obs
+// counters receive, handed to the adapter directly.
+type EpochSample struct {
+	// Epoch is the inference round.
+	Epoch uint64
+	// RawBytes is the epoch's deduplicated feedback raw-fetch cost in
+	// wire bytes.
+	RawBytes int
+	// Attacks holds the per-attack outcomes for every feedback
+	// question evaluated this epoch.
+	Attacks map[rules.AttackID]AttackSample
+}
+
+// attackState is the adapter's per-attack memory.
+type attackState struct {
+	cfg           inference.FeedbackConfig
+	uncertainEWMA float64
+	idleEpochs    int
+
+	gTau1, gTau2, gScale *obs.Gauge
+}
+
+// Controller is the adaptive threshold controller. It is not safe for
+// concurrent use; the core controller calls Observe once per epoch from
+// its inference goroutine.
+type Controller struct {
+	cfg    Config
+	ids    []rules.AttackID // sorted iteration order
+	states map[rules.AttackID]*attackState
+	rng    uint64 // splitmix64 state for step dither
+
+	epochs      int
+	adjustments int
+}
+
+// Package-level adapter series; the per-attack threshold gauges are
+// created per attack ID in New via obs.EnsureGauge.
+var (
+	cAdjustments = obs.NewCounter("jaal_adapt_adjustments_total",
+		"threshold adjustments applied by the adaptive controller")
+	gBudget = obs.NewIntGauge("jaal_adapt_raw_budget_bytes",
+		"configured per-epoch raw-fetch byte budget (0 = unbounded)")
+	gLastRaw = obs.NewIntGauge("jaal_adapt_last_epoch_raw_bytes",
+		"deduplicated feedback raw-fetch bytes observed in the last epoch")
+)
+
+// New builds an adapter seeded with each attack's initial feedback
+// config. Every initial config is clamped into the limits and must
+// validate afterwards.
+func New(cfg Config, initial map[rules.AttackID]inference.FeedbackConfig) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("adapt: no feedback configs to adapt")
+	}
+	a := &Controller{
+		cfg:    cfg,
+		states: make(map[rules.AttackID]*attackState, len(initial)),
+		rng:    uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0x1F83D9ABFB41BD6B,
+	}
+	var ids []rules.AttackID
+	for id := range initial {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	a.ids = ids
+	for _, id := range a.ids {
+		c := a.clamp(initial[id])
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("adapt: initial config for %s unusable even after clamping: %w", id, err)
+		}
+		a.states[id] = &attackState{
+			cfg:    c,
+			gTau1:  obs.EnsureGauge(fmt.Sprintf("jaal_adapt_tau_d1{attack=%q}", id), "live adapted first-stage threshold τ_d1"),
+			gTau2:  obs.EnsureGauge(fmt.Sprintf("jaal_adapt_tau_d2{attack=%q}", id), "live adapted second-stage threshold τ_d2"),
+			gScale: obs.EnsureGauge(fmt.Sprintf("jaal_adapt_count_scale2{attack=%q}", id), "live adapted stage-2 count relaxation"),
+		}
+	}
+	gBudget.Set(int64(cfg.RawByteBudget))
+	a.export()
+	return a, nil
+}
+
+// Configs returns a copy of the current per-attack feedback configs.
+func (a *Controller) Configs() map[rules.AttackID]inference.FeedbackConfig {
+	out := make(map[rules.AttackID]inference.FeedbackConfig, len(a.states))
+	//jaalvet:ignore mapiter — map→map copy; iteration order cannot reach any output
+	for id, st := range a.states {
+		out[id] = st.cfg
+	}
+	return out
+}
+
+// Epochs returns how many epochs the adapter has observed.
+func (a *Controller) Epochs() int { return a.epochs }
+
+// Adjustments returns how many individual threshold nudges have been
+// applied since start.
+func (a *Controller) Adjustments() int { return a.adjustments }
+
+// Observe ingests one epoch's telemetry, applies the control law, and
+// returns the updated per-attack configs (a fresh map — the caller may
+// install it without copying). Attacks absent from the sample (no
+// feedback question evaluated this epoch) keep their state untouched.
+func (a *Controller) Observe(s EpochSample) map[rules.AttackID]inference.FeedbackConfig {
+	a.epochs++
+	gLastRaw.Set(int64(s.RawBytes))
+
+	budget := a.cfg.RawByteBudget
+	over := budget > 0 && float64(s.RawBytes) > float64(budget)*(1+a.cfg.Hysteresis)
+	idleBudget := budget == 0 || float64(s.RawBytes) < float64(budget)*(1-a.cfg.Hysteresis)
+
+	for _, id := range a.ids {
+		st := a.states[id]
+		sample, ok := s.Attacks[id]
+		if !ok {
+			continue
+		}
+		uncertain := sample.Verdict == inference.VerdictUncertain
+		ewma := a.cfg.SmoothingAlpha
+		st.uncertainEWMA = (1-ewma)*st.uncertainEWMA + ewma*b2f(uncertain)
+
+		switch {
+		case over && uncertain:
+			// The epoch blew the fetch budget and this attack was one
+			// of the spenders: narrow its band hard (§5.3 overhead
+			// bound dominates).
+			a.narrow(st, a.step())
+		case uncertain && !sample.Alerted:
+			// Raw packets refuted stage 2's suspicion: the band is
+			// catching background. Narrow gently.
+			a.narrow(st, a.step()/2)
+		case uncertain && sample.Alerted:
+			// Raw packets confirmed the attack: stage 1 missed
+			// something real, so promote τ_d1 toward τ_d2 — the next
+			// instance alerts straight from the summary, spending no
+			// fetch budget.
+			a.promote(st, a.step())
+		}
+
+		if uncertain && st.uncertainEWMA > a.cfg.TargetUncertain*(1+a.cfg.Hysteresis) {
+			// Persistent uncertainty above target even inside budget:
+			// every epoch resolves by raw pull, which is the slow,
+			// expensive path. Narrow toward summary-only resolution.
+			a.narrow(st, a.step()/2)
+		}
+
+		if sample.Verdict == inference.VerdictClear && idleBudget {
+			st.idleEpochs++
+			if st.idleEpochs >= a.cfg.WidenAfter {
+				// Quiet traffic and an idle budget: widen the band to
+				// recover TPR headroom (looser τ_d2, more relaxed
+				// stage-2 count, more sensitive promotion floor).
+				a.widen(st, a.step())
+				st.idleEpochs = 0
+			}
+		} else {
+			st.idleEpochs = 0
+		}
+	}
+
+	a.export()
+	out := make(map[rules.AttackID]inference.FeedbackConfig, len(a.states))
+	//jaalvet:ignore mapiter — map→map copy; iteration order cannot reach any output
+	for id, st := range a.states {
+		out[id] = st.cfg
+	}
+	return out
+}
+
+// narrow shrinks the uncertain band: τ_d2 moves toward τ_d1 and the
+// stage-2 count relaxation backs off toward 1 (no relaxation).
+func (a *Controller) narrow(st *attackState, step float64) {
+	c := st.cfg
+	c.TauD2 -= step * (c.TauD2 - c.TauD1)
+	c.CountScale2 += step * (1 - c.CountScale2)
+	a.install(st, c)
+}
+
+// widen grows the uncertain band: τ_d2 rises toward the ceiling,
+// CountScale2 relaxes toward its floor, τ_d1 eases toward its floor.
+func (a *Controller) widen(st *attackState, step float64) {
+	c := st.cfg
+	c.TauD2 += step * (a.cfg.Limits.MaxTauD2 - c.TauD2)
+	c.CountScale2 -= step * (c.CountScale2 - a.cfg.Limits.MinCountScale2)
+	c.TauD1 -= (step / 2) * (c.TauD1 - a.cfg.Limits.MinTauD1)
+	a.install(st, c)
+}
+
+// promote raises τ_d1 toward τ_d2, converting confirmed-uncertain
+// attacks into direct stage-1 alerts.
+func (a *Controller) promote(st *attackState, step float64) {
+	c := st.cfg
+	c.TauD1 += step * (c.TauD2 - c.TauD1)
+	a.install(st, c)
+}
+
+// install clamps the candidate into the limits and adopts it. The
+// clamp enforces every FeedbackConfig invariant, so a failed Validate
+// here means a bug in the clamp itself — the old config is kept and
+// the event surfaces through the invariant tests rather than silently
+// corrupting the loop.
+func (a *Controller) install(st *attackState, c inference.FeedbackConfig) {
+	c = a.clamp(c)
+	if err := c.Validate(); err != nil {
+		return
+	}
+	if c != st.cfg {
+		a.adjustments++
+		cAdjustments.Inc()
+	}
+	st.cfg = c
+}
+
+// clamp forces the config into the limit box, preserving
+// τ_d1 + MinGap ≤ τ_d2 so the uncertain band never closes.
+func (a *Controller) clamp(c inference.FeedbackConfig) inference.FeedbackConfig {
+	l := a.cfg.Limits
+	if c.TauD2 > l.MaxTauD2 {
+		c.TauD2 = l.MaxTauD2
+	}
+	if c.TauD2 < l.MinTauD1+l.MinGap {
+		c.TauD2 = l.MinTauD1 + l.MinGap
+	}
+	if c.TauD1 < l.MinTauD1 {
+		c.TauD1 = l.MinTauD1
+	}
+	if c.TauD1 > c.TauD2-l.MinGap {
+		c.TauD1 = c.TauD2 - l.MinGap
+	}
+	if c.CountScale2 < l.MinCountScale2 {
+		c.CountScale2 = l.MinCountScale2
+	}
+	if c.CountScale2 > 1 {
+		c.CountScale2 = 1
+	}
+	return c
+}
+
+// step returns the base step scaled by a deterministic dither in
+// [0.75, 1.25), breaking limit cycles without wall-clock randomness.
+func (a *Controller) step() float64 {
+	return a.cfg.Step * (0.75 + 0.5*a.dither())
+}
+
+// dither draws the next value of a seeded splitmix64 stream, mapped to
+// [0, 1).
+func (a *Controller) dither() float64 {
+	a.rng += 0x9E3779B97F4A7C15
+	z := a.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// export publishes the live thresholds as jaal_adapt_* gauges.
+func (a *Controller) export() {
+	for _, id := range a.ids {
+		st := a.states[id]
+		st.gTau1.Set(st.cfg.TauD1)
+		st.gTau2.Set(st.cfg.TauD2)
+		st.gScale.Set(st.cfg.CountScale2)
+	}
+}
+
+// b2f is the indicator function.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

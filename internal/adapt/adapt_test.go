@@ -1,0 +1,234 @@
+package adapt
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/inference"
+	"repro/internal/rules"
+)
+
+func baseConfigs() map[rules.AttackID]inference.FeedbackConfig {
+	return map[rules.AttackID]inference.FeedbackConfig{
+		rules.AttackSYNFlood: {TauD1: 0.015, TauD2: 0.12, CountScale2: 0.55},
+		rules.AttackPortScan: {TauD1: 0.02, TauD2: 0.10, CountScale2: 0.60},
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	a, err := New(cfg, baseConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(64 << 10).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{RawByteBudget: -1, Step: 0.1, Hysteresis: 0.1, SmoothingAlpha: 0.3, WidenAfter: 1, Limits: DefaultLimits()},
+		{Step: 1, Hysteresis: 0.1, SmoothingAlpha: 0.3, WidenAfter: 1, Limits: DefaultLimits()},
+		{Step: 0.1, Hysteresis: 1, SmoothingAlpha: 0.3, WidenAfter: 1, Limits: DefaultLimits()},
+		{Step: 0.1, Hysteresis: 0.1, SmoothingAlpha: 0, WidenAfter: 1, Limits: DefaultLimits()},
+		{Step: 0.1, Hysteresis: 0.1, SmoothingAlpha: 0.3, TargetUncertain: 2, WidenAfter: 1, Limits: DefaultLimits()},
+		{Step: 0.1, Hysteresis: 0.1, SmoothingAlpha: 0.3, WidenAfter: 0, Limits: DefaultLimits()},
+		{Step: 0.1, Hysteresis: 0.1, SmoothingAlpha: 0.3, WidenAfter: 1, Limits: Limits{MinGap: 0, MaxTauD2: 0.4}},
+		{Step: 0.1, Hysteresis: 0.1, SmoothingAlpha: 0.3, WidenAfter: 1,
+			Limits: Limits{MinTauD1: 0.3, MinGap: 0.2, MaxTauD2: 0.4}},
+		{Step: 0.1, Hysteresis: 0.1, SmoothingAlpha: 0.3, WidenAfter: 1,
+			Limits: Limits{MinGap: 0.01, MaxTauD2: 0.4, MinCountScale2: 1.5}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(DefaultConfig(0), nil); err == nil {
+		t.Error("adapter with no configs accepted")
+	}
+}
+
+// TestObserveInvariants drives the adapter with an adversarial mix of
+// samples and checks that every emitted config validates and stays
+// inside the limit box — the safety argument is the clamp, not the
+// nudges.
+func TestObserveInvariants(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.Seed = 7
+	a := mustNew(t, cfg)
+	verdicts := []inference.Verdict{
+		inference.VerdictUncertain, inference.VerdictClear,
+		inference.VerdictAlert, inference.VerdictUncertain,
+	}
+	for e := 0; e < 200; e++ {
+		s := EpochSample{
+			Epoch:    uint64(e),
+			RawBytes: (e * 137) % 5000, // swings far above and below budget
+			Attacks:  map[rules.AttackID]AttackSample{},
+		}
+		for i, id := range []rules.AttackID{rules.AttackSYNFlood, rules.AttackPortScan} {
+			s.Attacks[id] = AttackSample{
+				Verdict: verdicts[(e+i)%len(verdicts)],
+				Alerted: (e+i)%3 == 0,
+			}
+		}
+		out := a.Observe(s)
+		l := cfg.Limits
+		for id, fb := range out {
+			if err := fb.Validate(); err != nil {
+				t.Fatalf("epoch %d: %s emitted invalid config %+v: %v", e, id, fb, err)
+			}
+			if fb.TauD1 < l.MinTauD1 || fb.TauD2 > l.MaxTauD2 || fb.TauD2-fb.TauD1 < l.MinGap-1e-12 {
+				t.Fatalf("epoch %d: %s outside limits: %+v", e, id, fb)
+			}
+			if fb.CountScale2 < l.MinCountScale2 || fb.CountScale2 > 1 {
+				t.Fatalf("epoch %d: %s count scale outside limits: %+v", e, id, fb)
+			}
+		}
+	}
+	if a.Epochs() != 200 {
+		t.Fatalf("Epochs() = %d", a.Epochs())
+	}
+	if a.Adjustments() == 0 {
+		t.Fatal("adversarial drive produced no adjustments")
+	}
+}
+
+// TestControlLawDirections pins the sign of each nudge.
+func TestControlLawDirections(t *testing.T) {
+	id := rules.AttackSYNFlood
+	sample := func(v inference.Verdict, alerted bool, raw int) EpochSample {
+		return EpochSample{RawBytes: raw,
+			Attacks: map[rules.AttackID]AttackSample{id: {Verdict: v, Alerted: alerted}}}
+	}
+
+	t.Run("over budget narrows", func(t *testing.T) {
+		a := mustNew(t, DefaultConfig(100))
+		before := a.Configs()[id]
+		out := a.Observe(sample(inference.VerdictUncertain, true, 10_000))
+		if out[id].TauD2 >= before.TauD2 || out[id].CountScale2 <= before.CountScale2 {
+			t.Fatalf("over budget should narrow: %+v -> %+v", before, out[id])
+		}
+	})
+	t.Run("refuted uncertainty narrows", func(t *testing.T) {
+		a := mustNew(t, DefaultConfig(0))
+		before := a.Configs()[id]
+		out := a.Observe(sample(inference.VerdictUncertain, false, 0))
+		if out[id].TauD2 >= before.TauD2 {
+			t.Fatalf("refuted uncertainty should lower τ_d2: %+v -> %+v", before, out[id])
+		}
+	})
+	t.Run("confirmed uncertainty promotes", func(t *testing.T) {
+		a := mustNew(t, DefaultConfig(0))
+		before := a.Configs()[id]
+		out := a.Observe(sample(inference.VerdictUncertain, true, 0))
+		if out[id].TauD1 <= before.TauD1 {
+			t.Fatalf("confirmed uncertainty should raise τ_d1: %+v -> %+v", before, out[id])
+		}
+	})
+	t.Run("idle epochs widen", func(t *testing.T) {
+		cfg := DefaultConfig(0)
+		cfg.WidenAfter = 2
+		a := mustNew(t, cfg)
+		before := a.Configs()[id]
+		a.Observe(sample(inference.VerdictClear, false, 0))
+		out := a.Observe(sample(inference.VerdictClear, false, 0))
+		if out[id].TauD2 <= before.TauD2 || out[id].CountScale2 >= before.CountScale2 {
+			t.Fatalf("idle run should widen: %+v -> %+v", before, out[id])
+		}
+	})
+	t.Run("alert steady state holds", func(t *testing.T) {
+		a := mustNew(t, DefaultConfig(0))
+		before := a.Configs()[id]
+		out := a.Observe(sample(inference.VerdictAlert, true, 0))
+		if out[id] != before {
+			t.Fatalf("direct alerts inside budget should not move thresholds: %+v -> %+v", before, out[id])
+		}
+	})
+	t.Run("absent attack untouched", func(t *testing.T) {
+		a := mustNew(t, DefaultConfig(0))
+		before := a.Configs()[rules.AttackPortScan]
+		out := a.Observe(sample(inference.VerdictUncertain, false, 0))
+		if out[rules.AttackPortScan] != before {
+			t.Fatalf("attack without a sample moved: %+v -> %+v", before, out[rules.AttackPortScan])
+		}
+	})
+}
+
+// TestStepZeroIsFrozen pins the no-op mode the disabled-path test in
+// core relies on: Step = 0 keeps every config bit-identical forever.
+func TestStepZeroIsFrozen(t *testing.T) {
+	cfg := DefaultConfig(100)
+	cfg.Step = 0
+	a := mustNew(t, cfg)
+	initial := a.Configs()
+	for e := 0; e < 50; e++ {
+		out := a.Observe(EpochSample{Epoch: uint64(e), RawBytes: 10_000,
+			Attacks: map[rules.AttackID]AttackSample{
+				rules.AttackSYNFlood: {Verdict: inference.VerdictUncertain, Alerted: true},
+				rules.AttackPortScan: {Verdict: inference.VerdictClear},
+			}})
+		if !reflect.DeepEqual(out, initial) {
+			t.Fatalf("epoch %d: Step=0 moved configs: %+v", e, out)
+		}
+	}
+	if a.Adjustments() != 0 {
+		t.Fatalf("Step=0 recorded %d adjustments", a.Adjustments())
+	}
+}
+
+// TestTrajectoryDeterministic replays identical telemetry through two
+// same-seeded adapters and a differently seeded third: the first two
+// trajectories must match exactly, the third must diverge (the dither
+// is live).
+func TestTrajectoryDeterministic(t *testing.T) {
+	drive := func(seed int64) []map[rules.AttackID]inference.FeedbackConfig {
+		cfg := DefaultConfig(500)
+		cfg.Seed = seed
+		a := mustNew(t, cfg)
+		var traj []map[rules.AttackID]inference.FeedbackConfig
+		for e := 0; e < 64; e++ {
+			v := inference.VerdictUncertain
+			if e%4 == 0 {
+				v = inference.VerdictClear
+			}
+			traj = append(traj, a.Observe(EpochSample{
+				Epoch: uint64(e), RawBytes: (e * 311) % 2000,
+				Attacks: map[rules.AttackID]AttackSample{
+					rules.AttackSYNFlood: {Verdict: v, Alerted: e%2 == 0},
+					rules.AttackPortScan: {Verdict: inference.VerdictClear},
+				}}))
+		}
+		return traj
+	}
+	a, b, c := drive(11), drive(11), drive(12)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, same telemetry produced different trajectories")
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical trajectories — dither is dead")
+	}
+}
+
+// TestInitialConfigClamped checks that out-of-box configs are pulled
+// into the limit box at construction.
+func TestInitialConfigClamped(t *testing.T) {
+	cfg := DefaultConfig(0)
+	a, err := New(cfg, map[rules.AttackID]inference.FeedbackConfig{
+		rules.AttackSYNFlood: {TauD1: 0.0, TauD2: 9.0, CountScale2: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Configs()[rules.AttackSYNFlood]
+	l := cfg.Limits
+	if got.TauD2 != l.MaxTauD2 || got.TauD1 < l.MinTauD1 || got.CountScale2 < l.MinCountScale2 {
+		t.Fatalf("initial config not clamped: %+v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package helpers
+
+// Do is the exported entry point; exported functions are out of scope
+// even when nothing in this package calls them.
+func Do() int { return caller() }
+
+// caller is alive: Do calls it.
+func caller() int { return refTarget() + 1 }
+
+// refTarget is alive through a plain call.
+func refTarget() int { return 0 }
+
+// hooked is alive through a function-value reference, not a call.
+func hooked() {}
+
+var hook = hooked
+
+var _ = hook
+
+func dead() int { return 42 } // want `func dead has no callers`
+
+// testOnly is called from a_test.go only; test files count as callers.
+func testOnly() int { return 7 }
+
+//jaalvet:ignore unusedhelper — reserved fixture: suppressed dead helper must stay silent
+func kept() {}
+
+type widget struct{ n int }
+
+// bump is a method: interface satisfaction makes package-local
+// liveness undecidable, so methods are out of scope.
+func (w *widget) bump() { w.n++ }
+
+var _ = (&widget{}).bump
+
+func init() {}

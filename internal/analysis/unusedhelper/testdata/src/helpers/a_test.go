@@ -1,0 +1,9 @@
+package helpers
+
+import "testing"
+
+func TestOnly(t *testing.T) {
+	if testOnly() != 7 {
+		t.Fatal("testOnly broken")
+	}
+}

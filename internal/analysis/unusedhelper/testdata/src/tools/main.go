@@ -1,0 +1,7 @@
+package main
+
+func main() { run() }
+
+func run() {}
+
+func orphan() {} // want `func orphan has no callers`

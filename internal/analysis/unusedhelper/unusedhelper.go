@@ -1,0 +1,108 @@
+// Package unusedhelper flags unexported top-level functions with no
+// callers in their package — dead helpers that survive refactors
+// because the compiler only rejects unused imports and variables, not
+// unused functions.
+//
+// The pre-fix bug motivating the check (ISSUE 5): inference kept a
+// diffRows helper from an earlier feedback-loop shape long after
+// RunFeedback stopped calling it, and the stale code silently implied
+// an obsolete fetch-set semantics to every reader.
+//
+// Methods are out of scope (interface satisfaction makes "no callers"
+// undecidable package-locally), as are exported functions, init, main
+// and the blank identifier. A helper referenced only from the
+// package's _test.go files is NOT dead: test files sit outside the
+// analyzed unit (analysis.Load excludes them), so the checker scans
+// them syntactically and treats any identifier match as a use. That
+// over-approximates — a same-named local in a test keeps a dead helper
+// alive — which is the right failure direction for a vet check.
+// Intentionally kept helpers take a
+// //jaalvet:ignore unusedhelper — <reason> suppression.
+package unusedhelper
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the unusedhelper checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "unusedhelper",
+	Doc:  "flag unexported top-level functions with no callers in their package (test files count as callers)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	used := make(map[types.Object]bool)
+	for _, obj := range pass.TypesInfo.Uses {
+		used[obj] = true
+	}
+	testUsed, ok := testFileIdents(pass)
+	if !ok {
+		// Unparseable test files: bail out rather than risk flagging a
+		// helper whose only caller we failed to read.
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Position(f.Pos()).Filename, "_test.go") {
+			// Fixture runs may type-check test files as part of the
+			// package; real loads never include them. Either way their
+			// declarations are not production helpers.
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Name.IsExported() {
+				continue
+			}
+			name := fd.Name.Name
+			if name == "init" || name == "main" || name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil || used[obj] || testUsed[name] {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"func %s has no callers in package %s; delete it, or suppress with a reason if it is kept deliberately",
+				name, pass.Pkg.Name())
+		}
+	}
+	return nil
+}
+
+// testFileIdents parses the package directory's _test.go files (which
+// the loader excludes from the type-checked unit) and returns every
+// identifier they mention. Matching is by name, not by object — an
+// over-approximation that can only hide findings, never invent them.
+func testFileIdents(pass *analysis.Pass) (map[string]bool, bool) {
+	idents := make(map[string]bool)
+	if len(pass.Files) == 0 {
+		return idents, true
+	}
+	dir := filepath.Dir(pass.Position(pass.Files[0].Pos()).Filename)
+	names, err := filepath.Glob(filepath.Join(dir, "*_test.go"))
+	if err != nil {
+		return nil, false
+	}
+	fset := token.NewFileSet()
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			return nil, false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				idents[id.Name] = true
+			}
+			return true
+		})
+	}
+	return idents, true
+}

@@ -1,0 +1,12 @@
+package unusedhelper_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unusedhelper"
+)
+
+func TestUnusedHelper(t *testing.T) {
+	analysistest.Run(t, unusedhelper.Analyzer, "testdata", "helpers", "tools")
+}

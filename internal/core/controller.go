@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/adapt"
 	"repro/internal/inference"
 	"repro/internal/obs"
 	"repro/internal/packet"
@@ -38,6 +39,11 @@ type Controller struct {
 	// workers bounds the per-question fan-out of ProcessEpoch
 	// (0 = GOMAXPROCS).
 	workers int
+	// adapter, when non-nil, retunes the feedback configs once per
+	// epoch from that epoch's verdicts and deduplicated raw-fetch
+	// bytes. Nil (the default) leaves the configs frozen — the output
+	// is then byte-identical to a build without the adaptive path.
+	adapter *adapt.Controller
 
 	mu      sync.Mutex
 	sources map[int]RawSource
@@ -107,6 +113,12 @@ type ControllerConfig struct {
 	// derives the timestamp from the epoch counter; install a wall
 	// clock only in live (non-reproducible) deployments.
 	Clock inference.Clock
+	// Adapt, when non-nil, enables the adaptive threshold controller:
+	// after each epoch the per-attack feedback configs are nudged
+	// toward Adapt's raw-fetch budget and target uncertain rate from
+	// that epoch's verdicts. Requires UseFeedback and a non-empty
+	// Feedback map. Nil keeps the configs static.
+	Adapt *adapt.Config
 }
 
 // NewController builds a controller.
@@ -130,7 +142,7 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	if clock == nil {
 		clock = inference.DefaultClock
 	}
-	return &Controller{
+	c := &Controller{
 		env:         cfg.Env,
 		questions:   cfg.Questions,
 		feedback:    cfg.Feedback,
@@ -138,7 +150,22 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		workers:     cfg.Workers,
 		clock:       clock,
 		sources:     make(map[int]RawSource),
-	}, nil
+	}
+	if cfg.Adapt != nil {
+		if !cfg.UseFeedback {
+			return nil, fmt.Errorf("core: adaptive thresholds require UseFeedback")
+		}
+		adapter, err := adapt.New(*cfg.Adapt, cfg.Feedback)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		c.adapter = adapter
+		// Start from the adapter's clamped view so the configs the
+		// questions run under and the trajectory the adapter reports
+		// agree from epoch zero.
+		c.feedback = adapter.Configs()
+	}
+	return c, nil
 }
 
 // RegisterSource attaches a monitor's raw-packet source for the feedback
@@ -168,22 +195,29 @@ func newFetcher(c *Controller) *fetcher {
 	return &fetcher{c: c, memo: make(map[inference.CentroidRef][]packet.Header)}
 }
 
-func (f *fetcher) FetchRaw(ref inference.CentroidRef) ([]packet.Header, error) {
+// FetchRaw implements inference.RawPacketFetcher. A memo hit reports
+// transferred == 0: the headers crossed the wire once, on the miss that
+// populated the memo, so summing FeedbackResult.RawPackets over an
+// epoch's questions equals f.bytes, the deduplicated transfer. (Which
+// question pays for a shared centroid depends on goroutine scheduling;
+// only the epoch sum is deterministic, and that is all the accounting
+// and the adaptive controller consume.)
+func (f *fetcher) FetchRaw(ref inference.CentroidRef) ([]packet.Header, int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if hs, ok := f.memo[ref]; ok {
-		return hs, nil
+		return hs, 0, nil
 	}
 	f.c.mu.Lock()
 	src, ok := f.c.sources[ref.MonitorID]
 	f.c.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("core: no raw source for monitor %d", ref.MonitorID)
+		return nil, 0, fmt.Errorf("core: no raw source for monitor %d", ref.MonitorID)
 	}
 	hs := src.RawPackets(ref.Epoch, ref.Centroid)
 	f.memo[ref] = hs
 	f.bytes += len(hs)
-	return hs, nil
+	return hs, len(hs), nil
 }
 
 // ProcessEpoch runs one inference round over the summaries collected
@@ -201,6 +235,10 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 	c.stats.Epochs++
 	c.stats.SummaryElements += agg.Elements
 	c.stats.PacketsSummarized += agg.TotalPackets
+	// Snapshot the feedback configs for this round: the adapter may
+	// swap in a new map at epoch end while nothing else mutates it, so
+	// the workers can read the snapshot without locking.
+	feedback := c.feedback
 	c.mu.Unlock()
 	cEpochs.Inc()
 	cSummaryElements.Add(int64(agg.Elements))
@@ -228,7 +266,7 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 	par.For(len(ids), c.workers, func(i int) {
 		id := ids[i]
 		q := c.questions[id]
-		fb, hasFB := c.feedback[id]
+		fb, hasFB := feedback[id]
 		if c.useFeedback && hasFB {
 			res, err := inference.RunFeedback(agg, q, fb, fet, matcher)
 			results[i] = qresult{fb: res, err: err}
@@ -254,6 +292,28 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 			cSimMatches.Inc()
 			alerts = append(alerts, inference.NewAlertFromMatch(id, epoch, r.match, c.clock))
 		}
+	}
+
+	if c.adapter != nil {
+		// Feed the adapter the same per-epoch quantities the obs
+		// counters get — never the counters themselves (metrics stay a
+		// write-only side channel) and never per-question transfer
+		// attribution (scheduling-dependent); only the deterministic
+		// verdicts and the deduplicated byte total.
+		sample := adapt.EpochSample{
+			Epoch:    epoch,
+			RawBytes: fet.bytes * wireSizeBytes,
+			Attacks:  make(map[rules.AttackID]adapt.AttackSample, len(ids)),
+		}
+		for i, id := range ids {
+			if fb := results[i].fb; fb != nil {
+				sample.Attacks[id] = adapt.AttackSample{Verdict: fb.Verdict, Alerted: fb.Alerted}
+			}
+		}
+		next := c.adapter.Observe(sample)
+		c.mu.Lock()
+		c.feedback = next
+		c.mu.Unlock()
 	}
 
 	c.mu.Lock()
@@ -284,6 +344,24 @@ func (c *Controller) Stats() Stats {
 	defer c.mu.Unlock()
 	return c.stats
 }
+
+// FeedbackConfigs returns a copy of the per-attack feedback configs the
+// next epoch will run under. With adaptive thresholds enabled these
+// move over time; otherwise they are the configs passed at construction.
+func (c *Controller) FeedbackConfigs() map[rules.AttackID]inference.FeedbackConfig {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[rules.AttackID]inference.FeedbackConfig, len(c.feedback))
+	//jaalvet:ignore mapiter — map→map copy; iteration order cannot reach any output
+	for id, fb := range c.feedback {
+		out[id] = fb
+	}
+	return out
+}
+
+// Adapter returns the adaptive threshold controller, or nil when
+// adaptation is disabled.
+func (c *Controller) Adapter() *adapt.Controller { return c.adapter }
 
 // Epoch returns the next epoch number to be processed.
 func (c *Controller) Epoch() uint64 {

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/inference"
+)
+
+// TestAdaptTrajectoryQuick pins the ISSUE 5 acceptance property at
+// quick scale: on both traces the adapted engine's steady-state
+// raw-fetch bytes settle within the configured budget, its attack
+// window detections are no worse than the static baseline's, and its
+// total feedback overhead does not exceed the static engine's.
+func TestAdaptTrajectoryQuick(t *testing.T) {
+	rows, tbl, err := AdaptTrajectory(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(rows) || len(rows) == 0 {
+		t.Fatalf("table has %d rows for %d samples", len(tbl.Rows), len(rows))
+	}
+
+	byTrace := map[int64][]AdaptEpochRow{}
+	for _, r := range rows {
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	if len(byTrace) != 2 {
+		t.Fatalf("expected traces 1 and 2, got %d traces", len(byTrace))
+	}
+	for trace, tr := range byTrace {
+		var staticAtk, adaptAtk int
+		var staticTotal, adaptTotal int
+		var tail, tailSum int
+		for i, r := range tr {
+			staticTotal += r.StaticRawBytes
+			adaptTotal += r.AdaptRawBytes
+			if r.Attack {
+				staticAtk += r.StaticAlerts
+				adaptAtk += r.AdaptAlerts
+			}
+			// Steady state: the final two post-attack quiet epochs.
+			if !r.Attack && i >= len(tr)-2 {
+				tail++
+				tailSum += r.AdaptRawBytes
+			}
+			cfg := inference.FeedbackConfig{TauD1: r.TauD1, TauD2: r.TauD2, CountScale2: r.CountScale2}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("trace %d epoch %d: adapted config invalid: %v", trace, r.Epoch, err)
+			}
+		}
+		if staticAtk == 0 {
+			t.Fatalf("trace %d: static baseline never alerted during the attack window; the workload proves nothing", trace)
+		}
+		if adaptAtk < staticAtk {
+			t.Errorf("trace %d: adaptive detections %d worse than static %d during attack window", trace, adaptAtk, staticAtk)
+		}
+		if tail == 0 {
+			t.Fatalf("trace %d: no post-attack quiet epochs in the schedule", trace)
+		}
+		// Within budget modulo the adapter's own hysteresis dead band.
+		if mean := tailSum / tail; float64(mean) > adaptBudgetBytes*1.15 {
+			t.Errorf("trace %d: steady-state raw-fetch mean %d B exceeds budget %d B", trace, mean, adaptBudgetBytes)
+		}
+		if float64(adaptTotal) > 1.05*float64(staticTotal) {
+			t.Errorf("trace %d: adaptive total feedback bytes %d exceed static %d", trace, adaptTotal, staticTotal)
+		}
+	}
+}

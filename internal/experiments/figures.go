@@ -231,12 +231,13 @@ type monitorFetcher struct {
 	buffers map[int]*summary.Buffer
 }
 
-func (f *monitorFetcher) FetchRaw(ref inference.CentroidRef) ([]packet.Header, error) {
+func (f *monitorFetcher) FetchRaw(ref inference.CentroidRef) ([]packet.Header, int, error) {
 	b, ok := f.buffers[ref.MonitorID]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown monitor %d", ref.MonitorID)
+		return nil, 0, fmt.Errorf("experiments: unknown monitor %d", ref.MonitorID)
 	}
-	return b.RawPackets(ref.Epoch, ref.Centroid), nil
+	hs := b.RawPackets(ref.Epoch, ref.Centroid)
+	return hs, len(hs), nil
 }
 
 // buildFeedbackCampaign generates trials that retain raw packets so the

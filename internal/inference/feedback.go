@@ -42,11 +42,33 @@ func (v Verdict) String() string {
 	}
 }
 
+// classifyVerdict maps the two stage outcomes onto the four cases of
+// Fig. 3. t1 is stage 1's full alert decision (count and variance), t2
+// is stage 2's high-recall count trigger.
+func classifyVerdict(t1, t2 bool) Verdict {
+	switch {
+	case t1 && t2:
+		return VerdictAlert
+	case !t1 && !t2:
+		return VerdictClear
+	case !t1 && t2:
+		return VerdictUncertain
+	default: // t1 && !t2
+		return VerdictAnomalous
+	}
+}
+
 // RawPacketFetcher retrieves the raw packet headers behind one centroid
 // of one monitor's summary. The controller implements it over the wire
 // protocol; tests implement it in memory.
 type RawPacketFetcher interface {
-	FetchRaw(ref CentroidRef) ([]packet.Header, error)
+	// FetchRaw returns the headers behind ref plus the number of
+	// headers actually transferred over the wire for this call.
+	// Fetchers that memoize within an epoch return transferred == 0 on
+	// a cache hit, so one centroid pulled by several questions in the
+	// same epoch is accounted (and transferred) exactly once; plain
+	// uncached fetchers return transferred == len(headers).
+	FetchRaw(ref CentroidRef) (hs []packet.Header, transferred int, err error)
 }
 
 // RawMatcher decides whether a set of raw packet headers constitutes the
@@ -73,13 +95,21 @@ type FeedbackConfig struct {
 	CountScale2 float64
 }
 
-// Validate reports whether the thresholds are ordered correctly.
+// Validate reports whether the thresholds are ordered correctly and the
+// configuration actually opens an uncertain band. τ_d1 == τ_d2 with no
+// count relaxation makes stage 2 identical to stage 1 — the feedback
+// loop would be "enabled" yet never fetch a raw packet, which is a
+// misconfiguration masquerading as feedback, so it is rejected.
 func (c FeedbackConfig) Validate() error {
 	if c.TauD1 < 0 || c.TauD2 < c.TauD1 {
 		return fmt.Errorf("inference: need 0 ≤ τ_d1 ≤ τ_d2, got %v, %v", c.TauD1, c.TauD2)
 	}
 	if c.CountScale2 < 0 || c.CountScale2 > 1 {
 		return fmt.Errorf("inference: count scale %v outside [0,1]", c.CountScale2)
+	}
+	if c.TauD1 == c.TauD2 && (c.CountScale2 == 0 || c.CountScale2 == 1) {
+		return fmt.Errorf("inference: degenerate feedback config: τ_d1 == τ_d2 == %v with count scale %v leaves an empty uncertain band (stage 2 ≡ stage 1)",
+			c.TauD1, c.CountScale2)
 	}
 	return nil
 }
@@ -104,10 +134,13 @@ type FeedbackResult struct {
 	Alerted bool
 	// Stage1, Stage2 are the threshold-based results at τ_d1 and τ_d2.
 	Stage1, Stage2 *MatchResult
-	// RawFetches counts centroids whose raw packets were requested.
+	// RawFetches counts centroids whose raw packets were requested,
+	// cache hits included.
 	RawFetches int
-	// RawPackets counts raw packet headers transferred by the feedback,
-	// the extra communication cost of §5.3.
+	// RawPackets counts raw packet headers actually transferred by the
+	// feedback — the extra communication cost of §5.3. Centroids served
+	// from a per-epoch cache cost nothing here, so summing RawPackets
+	// over an epoch's questions equals the deduplicated transfer.
 	RawPackets int
 }
 
@@ -133,14 +166,12 @@ func RunFeedback(agg *Aggregate, q *rules.Question, cfg FeedbackConfig, fetcher 
 	// Variance refinement belongs to stage 1 and to the raw re-analysis
 	// — a wrong-window variance verdict must not suppress the fetch.
 	t2 := s2.Matched
-	switch {
-	case t1 && t2:
-		res.Verdict = VerdictAlert
+	res.Verdict = classifyVerdict(t1, t2)
+	switch res.Verdict {
+	case VerdictAlert:
 		res.Alerted = true
-	case !t1 && !t2:
-		res.Verdict = VerdictClear
-	case !t1 && t2:
-		res.Verdict = VerdictUncertain
+	case VerdictClear:
+	case VerdictUncertain:
 		if fetcher == nil || matcher == nil {
 			res.Alerted = true
 			break
@@ -153,38 +184,17 @@ func RunFeedback(agg *Aggregate, q *rules.Question, cfg FeedbackConfig, fetcher 
 		// the same suspicion and the raw re-analysis needs them.)
 		var raw []packet.Header
 		for _, row := range s2.FetchRows {
-			hs, err := fetcher.FetchRaw(agg.Refs[row])
+			hs, transferred, err := fetcher.FetchRaw(agg.Refs[row])
 			if err != nil {
 				return nil, fmt.Errorf("inference: feedback fetch: %w", err)
 			}
 			res.RawFetches++
-			res.RawPackets += len(hs)
+			res.RawPackets += transferred
 			raw = append(raw, hs...)
 		}
 		res.Alerted = matcher.MatchRaw(q, raw)
-	default: // t1 && !t2
-		res.Verdict = VerdictAnomalous
+	default: // VerdictAnomalous
 		res.Alerted = t1
 	}
 	return res, nil
-}
-
-// diffRows returns the rows in a that are not in b. Both slices are
-// ascending (Algorithm 1 appends in row order).
-func diffRows(a, b []int) []int {
-	var out []int
-	i, j := 0, 0
-	for i < len(a) {
-		switch {
-		case j >= len(b) || a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] == b[j]:
-			i++
-			j++
-		default:
-			j++
-		}
-	}
-	return out
 }

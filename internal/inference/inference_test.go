@@ -221,13 +221,14 @@ type memFetcher struct {
 	calls   int
 }
 
-func (f *memFetcher) FetchRaw(ref CentroidRef) ([]packet.Header, error) {
+func (f *memFetcher) FetchRaw(ref CentroidRef) ([]packet.Header, int, error) {
 	f.calls++
 	b, ok := f.buffers[ref.MonitorID]
 	if !ok {
-		return nil, errors.New("no such monitor")
+		return nil, 0, errors.New("no such monitor")
 	}
-	return b.RawPackets(ref.Epoch, ref.Centroid), nil
+	hs := b.RawPackets(ref.Epoch, ref.Centroid)
+	return hs, len(hs), nil
 }
 
 // thresholdMatcher alerts when at least minSYN raw packets carry SYN.
@@ -340,27 +341,6 @@ func TestFeedbackUncertainWithoutFetcherAlerts(t *testing.T) {
 	}
 	if res.Verdict != VerdictUncertain || !res.Alerted {
 		t.Fatalf("nil fetcher must fall back to alerting: %v/%v", res.Verdict, res.Alerted)
-	}
-}
-
-func TestDiffRows(t *testing.T) {
-	cases := []struct{ a, b, want []int }{
-		{[]int{1, 2, 3}, []int{2}, []int{1, 3}},
-		{[]int{1, 2, 3}, nil, []int{1, 2, 3}},
-		{nil, []int{1}, nil},
-		{[]int{5, 9}, []int{5, 9}, nil},
-		{[]int{1, 4, 7}, []int{2, 4, 6}, []int{1, 7}},
-	}
-	for i, c := range cases {
-		got := diffRows(c.a, c.b)
-		if len(got) != len(c.want) {
-			t.Fatalf("case %d: diff = %v, want %v", i, got, c.want)
-		}
-		for j := range got {
-			if got[j] != c.want[j] {
-				t.Fatalf("case %d: diff = %v, want %v", i, got, c.want)
-			}
-		}
 	}
 }
 

@@ -8,8 +8,11 @@
 //
 // where <experiment> is one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // fig11 table1 headline varest adaptive adapt multiwindow encoding
-// coverage sketchcost batchsize all. ("adaptive" is the evasive-attacker
-// ablation; "adapt" is the adaptive-threshold trajectory of ISSUE 5.)
+// coverage sketchcost batchsize matchscale all. ("adaptive" is the
+// evasive-attacker ablation; "adapt" is the adaptive-threshold
+// trajectory of ISSUE 5; "matchscale" is the ISSUE 6 indexed-matching
+// harness and is excluded from "all" because its numbers are wall-clock
+// timings.)
 //
 // -quick reduces trial counts for a fast smoke run; the default scale
 // mirrors the paper's averaging (15 runs per point).
@@ -30,7 +33,7 @@ func main() {
 	stats := flag.Bool("stats", false, "collect runtime metrics and print the observability summary table to stderr")
 	topoNum := flag.Int("topology", 1, "topology for fig7/fig9: 1 (Abovenet-like) or 2 (Exodus-like)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: jaal-experiments [-quick] <fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|headline|varest|adaptive|adapt|multiwindow|encoding|coverage|sketchcost|batchsize|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: jaal-experiments [-quick] <fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|headline|varest|adaptive|adapt|multiwindow|encoding|coverage|sketchcost|batchsize|matchscale|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -143,6 +146,15 @@ func run(name string, sc experiments.Scale, quick bool, top *topology.Topology) 
 			trials = 5
 		}
 		_, tbl, err := experiments.BatchSizeSweep(trials)
+		return render(tbl, err)
+	case "matchscale":
+		sizes := []int{100, 1000, 10000}
+		reps := 3
+		if quick {
+			sizes = []int{100, 1000}
+			reps = 1
+		}
+		_, tbl, err := experiments.MatchScale(sizes, reps)
 		return render(tbl, err)
 	case "all":
 		for _, sub := range []string{

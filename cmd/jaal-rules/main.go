@@ -6,8 +6,12 @@
 // Usage:
 //
 //	jaal-rules [-home 10.0.0.0/8] [-file rules.txt]
+//	jaal-rules gen [-n 10000] [-seed 1] [-base-sid 3000000] [-o rules.txt]
 //
-// Without -file, the built-in attack library is shown.
+// Without -file, the built-in attack library is shown. The gen
+// subcommand emits a seeded synthetic Snort-subset library (ISSUE 6's
+// 10k-rule scale workload); every emitted line re-parses and
+// round-trips through the canonical writer.
 package main
 
 import (
@@ -23,6 +27,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "gen" {
+		runGen(os.Args[2:])
+		return
+	}
 	home := flag.String("home", "10.0.0.0/8", "HOME_NET prefix")
 	file := flag.String("file", "", "rules file (empty = built-in attack library)")
 	tauD := flag.Float64("taud", 0.05, "default distance threshold τ_d")
@@ -68,6 +76,26 @@ func main() {
 			continue
 		}
 		printQuestion(fmt.Sprintf("sid %d", r.SID), q)
+	}
+}
+
+// runGen implements `jaal-rules gen`: write a seeded synthetic library
+// to -o (stdout by default).
+func runGen(args []string) {
+	fs := flag.NewFlagSet("jaal-rules gen", flag.ExitOnError)
+	n := fs.Int("n", 10000, "number of rules to generate")
+	seed := fs.Int64("seed", 1, "generator seed")
+	baseSID := fs.Int("base-sid", 3000000, "first SID to assign")
+	out := fs.String("o", "", "output file (empty = stdout)")
+	fs.Parse(args)
+
+	text := rules.GenerateText(rules.GenConfig{Rules: *n, Seed: *seed, BaseSID: *baseSID})
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		log.Fatalf("jaal-rules gen: %v", err)
 	}
 }
 

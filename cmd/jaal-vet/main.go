@@ -23,6 +23,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/linearscan"
 	"repro/internal/analysis/lockcopy"
 	"repro/internal/analysis/mapiter"
 	"repro/internal/analysis/obshot"
@@ -34,6 +35,7 @@ import (
 var all = []*analysis.Analyzer{
 	atomicmix.Analyzer,
 	detrand.Analyzer,
+	linearscan.Analyzer,
 	lockcopy.Analyzer,
 	mapiter.Analyzer,
 	obshot.Analyzer,

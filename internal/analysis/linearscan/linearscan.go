@@ -1,0 +1,78 @@
+// Package linearscan keeps the controller's per-epoch inference hot
+// path sublinear in library size: inside the core package, question
+// evaluation must go through the index-aware inference entry points
+// (EstimateSimilarityIndexed, RunFeedbackIndexed, EvaluateAllIndexed,
+// EvaluateAllIndexedParallel), never the plain linear ones.
+//
+// The indexed variants are byte-identical to the linear scan — the
+// candidate index only skips questions whose match set is provably
+// empty — so a direct linear call in core is never a correctness fix;
+// it silently reverts the engine to O(rules × centroids) per epoch,
+// exactly the scaling wall the question index exists to remove. Other
+// packages (experiments' threshold sweeps, tests, tools) evaluate
+// however they like.
+package linearscan
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the linearscan checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "linearscan",
+	Doc:  "forbid linear question evaluation in the core controller hot path",
+	Run:  run,
+}
+
+// linearNames are the inference entry points that scan every question
+// or centroid unconditionally; each maps to the index-aware
+// replacement core must use instead.
+var linearNames = map[string]string{
+	"EstimateSimilarity":  "EstimateSimilarityIndexed",
+	"RunFeedback":         "RunFeedbackIndexed",
+	"EvaluateAll":         "EvaluateAllIndexed",
+	"EvaluateAllParallel": "EvaluateAllIndexedParallel",
+}
+
+func run(pass *analysis.Pass) error {
+	if !isCorePath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isInferencePath(fn.Pkg().Path()) {
+				return true
+			}
+			if indexed, bad := linearNames[fn.Name()]; bad {
+				pass.Reportf(call.Pos(),
+					"linear inference.%s in the core hot path scans every question each epoch; use inference.%s with the controller's question index",
+					fn.Name(), indexed)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCorePath matches the controller package: the real tree
+// (repro/internal/core) and analysistest fixture paths (core).
+func isCorePath(path string) bool {
+	return path == "core" || strings.HasSuffix(path, "/core")
+}
+
+func isInferencePath(path string) bool {
+	return path == "inference" || strings.HasSuffix(path, "/inference")
+}

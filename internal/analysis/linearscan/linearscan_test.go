@@ -1,0 +1,12 @@
+package linearscan_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/linearscan"
+)
+
+func TestLinearScan(t *testing.T) {
+	analysistest.Run(t, linearscan.Analyzer, "testdata", "core", "experiments")
+}

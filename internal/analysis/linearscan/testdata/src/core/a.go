@@ -1,0 +1,23 @@
+// Positive linearscan fixture: this package's last path element is
+// "core", so every direct linear inference call must be flagged.
+package core
+
+import (
+	"repro/internal/inference"
+	"repro/internal/rules"
+)
+
+func epoch(agg *inference.Aggregate, qs []*rules.Question, ix *rules.QuestionIndex) {
+	q := qs[0]
+	_ = inference.EstimateSimilarity(agg, q)                                   // want `linear inference\.EstimateSimilarity in the core hot path`
+	_ = inference.EvaluateAll(agg, qs)                                         // want `linear inference\.EvaluateAll in the core hot path`
+	_ = inference.EvaluateAllParallel(agg, qs, 4)                              // want `linear inference\.EvaluateAllParallel in the core hot path`
+	_, _ = inference.RunFeedback(agg, q, inference.FeedbackConfig{}, nil, nil) // want `linear inference\.RunFeedback in the core hot path`
+
+	// The index-aware entry points are the sanctioned path.
+	cs := inference.Candidates(agg, ix)
+	_ = inference.EstimateSimilarityIndexed(agg, q, cs.Contains(0))
+	_, _ = inference.RunFeedbackIndexed(agg, q, inference.FeedbackConfig{}, nil, nil, true)
+	_ = inference.EvaluateAllIndexed(agg, qs, ix)
+	_ = inference.EvaluateAllIndexedParallel(agg, qs, ix, 4)
+}

@@ -1,0 +1,16 @@
+// Negative linearscan fixture: outside the core package, linear
+// evaluation is legitimate — experiments sweep thresholds and the
+// equivalence tests need the reference scan — so nothing is flagged.
+package experiments
+
+import (
+	"repro/internal/inference"
+	"repro/internal/rules"
+)
+
+func sweep(agg *inference.Aggregate, qs []*rules.Question) {
+	_ = inference.EstimateSimilarity(agg, qs[0])
+	_ = inference.EvaluateAll(agg, qs)
+	_ = inference.EvaluateAllParallel(agg, qs, 4)
+	_, _ = inference.RunFeedback(agg, qs[0], inference.FeedbackConfig{}, nil, nil)
+}

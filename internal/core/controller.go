@@ -29,7 +29,16 @@ type RawSource interface {
 type Controller struct {
 	env       *rules.Environment
 	questions map[rules.AttackID]*rules.Question
-	feedback  map[rules.AttackID]inference.FeedbackConfig
+	// ids and qs are the evaluation order, fixed at construction:
+	// attack IDs sorted ascending with qs[i] the question for ids[i].
+	// The question index is built over qs in this order, so candidate
+	// bit i always refers to ids[i].
+	ids []rules.AttackID
+	qs  []*rules.Question
+	// index prunes provably unmatchable questions each epoch; nil when
+	// ControllerConfig.DisableIndex forced the linear scan.
+	index    *rules.QuestionIndex
+	feedback map[rules.AttackID]inference.FeedbackConfig
 	// useFeedback enables the two-stage path for attacks with a
 	// feedback config.
 	useFeedback bool
@@ -119,6 +128,36 @@ type ControllerConfig struct {
 	// that epoch's verdicts. Requires UseFeedback and a non-empty
 	// Feedback map. Nil keeps the configs static.
 	Adapt *adapt.Config
+	// DisableIndex forces the linear question sweep instead of the
+	// candidate index. The output is byte-identical either way (the
+	// index only skips questions whose match set is provably empty);
+	// this switch exists as the reference path for equivalence tests
+	// and as an escape hatch.
+	DisableIndex bool
+}
+
+// indexTauHeadroom widens the per-question τ bound the index is built
+// with, so the adaptive loop's per-epoch τ_d2 nudges stay inside the
+// indexed bound and feedback-map swaps rarely force a rebuild. A wider
+// bound only costs pruning power, never correctness (the intervals
+// stay a conservative superset).
+const indexTauHeadroom = 1.25
+
+// buildIndex constructs the question index over the controller's fixed
+// evaluation order, bounding each question by the widest threshold it
+// can be evaluated at under the given feedback configs: τ_d2 for
+// feedback questions, the question's own τ_d otherwise, both with
+// headroom for adaptive nudges.
+func (c *Controller) buildIndex(feedback map[rules.AttackID]inference.FeedbackConfig) (*rules.QuestionIndex, error) {
+	maxTau := make([]float64, len(c.qs))
+	for i, id := range c.ids {
+		bound := c.qs[i].DistanceThreshold
+		if fb, ok := feedback[id]; c.useFeedback && ok && fb.TauD2 > bound {
+			bound = fb.TauD2
+		}
+		maxTau[i] = bound * indexTauHeadroom
+	}
+	return rules.NewQuestionIndex(c.qs, maxTau)
 }
 
 // NewController builds a controller.
@@ -164,6 +203,27 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		// questions run under and the trajectory the adapter reports
 		// agree from epoch zero.
 		c.feedback = adapter.Configs()
+	}
+	// Fix the evaluation order once: attack IDs sorted ascending. Every
+	// epoch reuses it, and the question index is aligned to it.
+	ids := make([]rules.AttackID, 0, len(c.questions))
+	for id := range c.questions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	c.ids = ids
+	c.qs = make([]*rules.Question, len(c.ids))
+	for i, id := range c.ids {
+		if c.qs[i] = c.questions[id]; c.qs[i] == nil {
+			return nil, fmt.Errorf("core: nil question for attack %s", id)
+		}
+	}
+	if !cfg.DisableIndex {
+		ix, err := c.buildIndex(c.feedback)
+		if err != nil {
+			return nil, fmt.Errorf("core: question index: %w", err)
+		}
+		c.index = ix
 	}
 	return c, nil
 }
@@ -235,10 +295,13 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 	c.stats.Epochs++
 	c.stats.SummaryElements += agg.Elements
 	c.stats.PacketsSummarized += agg.TotalPackets
-	// Snapshot the feedback configs for this round: the adapter may
-	// swap in a new map at epoch end while nothing else mutates it, so
-	// the workers can read the snapshot without locking.
+	// Snapshot the feedback configs and the index for this round: the
+	// adapter may swap both at epoch end while nothing else mutates
+	// them, so the workers can read the snapshots without locking.
+	// Reading them under one lock keeps them consistent — the index's
+	// τ bounds always cover the snapshot's τ_d2 values.
 	feedback := c.feedback
+	index := c.index
 	c.mu.Unlock()
 	cEpochs.Inc()
 	cSummaryElements.Add(int64(agg.Elements))
@@ -247,15 +310,21 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 	matcher := snort.RawMatcher{Env: c.env}
 	fet := newFetcher(c)
 
+	// One candidate-set computation covers every question this epoch; a
+	// nil index (DisableIndex) yields a nil set whose Contains is
+	// always true — the linear sweep.
+	cs := inference.Candidates(agg, index)
+	if index != nil {
+		cands := cs.Count()
+		cIndexCandidates.Add(int64(cands))
+		cIndexPruned.Add(int64(len(c.qs) - cands))
+	}
+
 	// Deterministic evaluation order: question evaluation fans out across
 	// the worker pool, but each question writes only its own result slot
 	// and alerts are assembled sequentially in sorted attack-ID order, so
 	// the output is identical for every worker count.
-	ids := make([]rules.AttackID, 0, len(c.questions))
-	for id := range c.questions {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := c.ids
 
 	type qresult struct {
 		match *inference.MatchResult
@@ -265,14 +334,19 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 	results := make([]qresult, len(ids))
 	par.For(len(ids), c.workers, func(i int) {
 		id := ids[i]
-		q := c.questions[id]
+		q := c.qs[i]
 		fb, hasFB := feedback[id]
 		if c.useFeedback && hasFB {
-			res, err := inference.RunFeedback(agg, q, fb, fet, matcher)
+			// Pruning a feedback question is sound only while the index
+			// bound covers τ_d2, the widest threshold its stages use.
+			// The rebuild-on-swap policy maintains that invariant; if it
+			// is ever violated the question just runs unpruned.
+			candidate := cs.Contains(i) || (index != nil && !index.Covers(i, fb.TauD2))
+			res, err := inference.RunFeedbackIndexed(agg, q, fb, fet, matcher, candidate)
 			results[i] = qresult{fb: res, err: err}
 			return
 		}
-		results[i] = qresult{match: inference.EstimateSimilarity(agg, q)}
+		results[i] = qresult{match: inference.EstimateSimilarityIndexed(agg, q, cs.Contains(i))}
 	})
 
 	var alerts []*inference.Alert
@@ -311,8 +385,27 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 			}
 		}
 		next := c.adapter.Observe(sample)
+		// Rebuild the index when a nudged τ_d2 outgrew the bound it was
+		// indexed under (the headroom makes this rare). The new index
+		// and the new configs are swapped in under one lock so the next
+		// epoch's snapshot is consistent.
+		newIndex := index
+		if index != nil {
+			for i, id := range ids {
+				if fb, ok := next[id]; ok && !index.Covers(i, fb.TauD2) {
+					rebuilt, err := c.buildIndex(next)
+					if err != nil {
+						return nil, fmt.Errorf("core: question index rebuild: %w", err)
+					}
+					newIndex = rebuilt
+					cIndexRebuilds.Inc()
+					break
+				}
+			}
+		}
 		c.mu.Lock()
 		c.feedback = next
+		c.index = newIndex
 		c.mu.Unlock()
 	}
 

@@ -41,6 +41,12 @@ var (
 		"single-stage similarity matches that alerted (τ_c and τ_d met)")
 	cFeedbackPulls = obs.NewCounter("jaal_controller_feedback_raw_packets_total",
 		"deduplicated raw headers pulled by the feedback loop")
+	cIndexCandidates = obs.NewCounter("jaal_controller_index_candidates_total",
+		"question evaluations that passed the candidate index and ran the exact estimator")
+	cIndexPruned = obs.NewCounter("jaal_controller_index_pruned_total",
+		"question evaluations skipped because the index proved the match set empty")
+	cIndexRebuilds = obs.NewCounter("jaal_controller_index_rebuilds_total",
+		"question-index rebuilds forced by adaptive τ_d2 outgrowing the indexed bound")
 	cVerdictAlert = obs.NewCounter("jaal_controller_feedback_verdicts_total{verdict=\"alert\"}",
 		"feedback-loop verdicts by case (§5.3)")
 	cVerdictClear = obs.NewCounter("jaal_controller_feedback_verdicts_total{verdict=\"clear\"}",

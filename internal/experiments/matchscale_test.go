@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestMatchScale runs the harness at reduced scale and checks the
+// invariants the table reports: both engines agree on every row, the
+// index prunes something, and the accounting adds up.
+func TestMatchScale(t *testing.T) {
+	sizes := []int{100, 500}
+	if !testing.Short() {
+		sizes = []int{100, 1000}
+	}
+	points, table, err := MatchScale(sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * len(sizes) // two traffic profiles per size
+	if len(points) != want || len(table.Rows) != want {
+		t.Fatalf("got %d points / %d rows, want %d", len(points), len(table.Rows), want)
+	}
+	for _, pt := range points {
+		if !pt.Identical {
+			t.Errorf("%s/%d rules: engines disagreed", pt.Profile, pt.Rules)
+		}
+		if pt.Candidates+pt.Pruned != pt.Rules {
+			t.Errorf("%s/%d rules: candidates %d + pruned %d != rules", pt.Profile, pt.Rules, pt.Candidates, pt.Pruned)
+		}
+		if pt.Matchable > pt.Candidates {
+			t.Errorf("%s/%d rules: %d matchable questions but only %d candidates — the filter dropped a real match",
+				pt.Profile, pt.Rules, pt.Matchable, pt.Candidates)
+		}
+		if pt.Pruned == 0 {
+			t.Errorf("%s/%d rules: index pruned nothing — the harness is vacuous", pt.Profile, pt.Rules)
+		}
+		if pt.LinearNs <= 0 || pt.IndexedNs <= 0 {
+			t.Errorf("%s/%d rules: non-positive timing (linear %d, indexed %d)", pt.Profile, pt.Rules, pt.LinearNs, pt.IndexedNs)
+		}
+	}
+}

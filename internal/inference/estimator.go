@@ -1,7 +1,9 @@
 package inference
 
 import (
-	"sort"
+	"cmp"
+	"slices"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/packet"
@@ -74,6 +76,23 @@ func estimateWithThreshold(agg *Aggregate, q *rules.Question, tauD float64) *Mat
 			res.MatchedRows = append(res.MatchedRows, i)
 		}
 	}
+	return finishEstimate(agg, q, res)
+}
+
+// estimatePruned produces the result for a question the index proved
+// unmatchable this epoch. It runs the same tail as a scan that found
+// nothing — tracked-window narrowing of an empty set, the τ_c compare,
+// the variance gate — so an index-pruned result is byte-identical to
+// the linear scan's result, whatever the thresholds.
+func estimatePruned(agg *Aggregate, q *rules.Question) *MatchResult {
+	return finishEstimate(agg, q, &MatchResult{Question: q, VariancePassed: true})
+}
+
+// finishEstimate applies the post-scan stages of Algorithm 1 to a
+// result whose MatchedRows/MatchedCount hold the distance-matched set:
+// tracked-window narrowing, the count threshold, and the Algorithm 2
+// variance postprocessor.
+func finishEstimate(agg *Aggregate, q *rules.Question, res *MatchResult) *MatchResult {
 	res.AllMatchedRows = res.MatchedRows
 	res.CoreRows = res.MatchedRows
 	res.FetchRows = res.MatchedRows
@@ -117,6 +136,25 @@ func trackWindow(q *rules.Question) float64 {
 	return 2e-5
 }
 
+// fv pairs a matched row with its tracked-field value for window sort.
+type fv struct {
+	row int
+	val float64
+}
+
+// estimateScratch holds per-call working slices for the hot estimator
+// helpers. Only the MatchedRows/FetchRows/CoreRows result slices escape
+// into MatchResult; everything else is recycled through scratchPool, so
+// per-question cost stays flat across epochs (the allocs/op assertion
+// in BenchmarkEvaluateAll pins this).
+type estimateScratch struct {
+	vals    []fv
+	values  []float64
+	weights []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(estimateScratch) }}
+
 // maxWindowCount finds, over the matched rows sorted by the tracked
 // field, the window of the given width with the maximum total membership
 // count. It returns the rows inside that window and their count.
@@ -124,15 +162,15 @@ func maxWindowCount(agg *Aggregate, rows []int, field packet.FieldIndex, width f
 	if len(rows) == 0 {
 		return nil, 0
 	}
-	type fv struct {
-		row int
-		val float64
+	sc := scratchPool.Get().(*estimateScratch)
+	if cap(sc.vals) < len(rows) {
+		sc.vals = make([]fv, len(rows))
 	}
-	vals := make([]fv, len(rows))
+	vals := sc.vals[:len(rows)]
 	for i, r := range rows {
 		vals[i] = fv{row: r, val: agg.Representatives.At(r, int(field))}
 	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i].val < vals[j].val })
+	slices.SortFunc(vals, func(a, b fv) int { return cmp.Compare(a.val, b.val) })
 
 	bestLo, bestHi, bestCount := 0, 0, 0
 	lo, count := 0, 0
@@ -150,7 +188,8 @@ func maxWindowCount(agg *Aggregate, rows []int, field packet.FieldIndex, width f
 	for i := bestLo; i <= bestHi; i++ {
 		out = append(out, vals[i].row)
 	}
-	sort.Ints(out)
+	scratchPool.Put(sc)
+	slices.Sort(out)
 	return out, bestCount
 }
 
@@ -161,13 +200,19 @@ func MatchedVariance(agg *Aggregate, rows []int, field packet.FieldIndex) float6
 	if len(rows) == 0 {
 		return 0
 	}
-	values := make([]float64, len(rows))
-	weights := make([]float64, len(rows))
+	sc := scratchPool.Get().(*estimateScratch)
+	if cap(sc.values) < len(rows) {
+		sc.values = make([]float64, len(rows))
+		sc.weights = make([]float64, len(rows))
+	}
+	values, weights := sc.values[:len(rows)], sc.weights[:len(rows)]
 	for i, r := range rows {
 		values[i] = agg.Representatives.At(r, int(field))
 		weights[i] = float64(agg.Counts[r])
 	}
-	return linalg.WeightedVariance(values, weights)
+	v := linalg.WeightedVariance(values, weights)
+	scratchPool.Put(sc)
+	return v
 }
 
 // EvaluateAll runs every question against the aggregate and returns the

@@ -153,12 +153,27 @@ type FeedbackResult struct {
 // summary-only decision at τ_d2 (alerting), preserving the high-TPR
 // operating point at the price of FPR.
 func RunFeedback(agg *Aggregate, q *rules.Question, cfg FeedbackConfig, fetcher RawPacketFetcher, matcher RawMatcher) (*FeedbackResult, error) {
+	return runFeedback(agg, q, cfg, fetcher, matcher, true)
+}
+
+// runFeedback implements RunFeedback; candidate == false means the
+// question index proved no centroid can match q at τ_d2 (the wider
+// stage), so both stages run the pruned fast path — the same tail code
+// over an empty matched set, keeping the result byte-identical to the
+// full scan's.
+func runFeedback(agg *Aggregate, q *rules.Question, cfg FeedbackConfig, fetcher RawPacketFetcher, matcher RawMatcher, candidate bool) (*FeedbackResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s1 := estimateWithThreshold(agg, q, cfg.TauD1)
 	q2 := q.WithCountThreshold(cfg.stage2CountThreshold(q.CountThreshold))
-	s2 := estimateWithThreshold(agg, q2, cfg.TauD2)
+	var s1, s2 *MatchResult
+	if candidate {
+		s1 = estimateWithThreshold(agg, q, cfg.TauD1)
+		s2 = estimateWithThreshold(agg, q2, cfg.TauD2)
+	} else {
+		s1 = estimatePruned(agg, q)
+		s2 = estimatePruned(agg, q2)
+	}
 	res := &FeedbackResult{Question: q, Stage1: s1, Stage2: s2}
 
 	t1 := s1.Alerted()

@@ -1,0 +1,259 @@
+package inference
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/rules"
+	"repro/internal/summary"
+)
+
+// scaleAggregate builds a mixed benign+flood aggregate for the scale
+// tests and benchmarks (testing.TB so benchmarks share it).
+func scaleAggregate(tb testing.TB, seed int64, packets int) *Aggregate {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mixed := append(benignHeaders(rng, packets*4/5), synFloodHeaders(rng, packets/5, 0x0A000001)...)
+	s, err := summary.NewSummarizer(summary.Config{
+		BatchSize: len(mixed), Rank: 12, Centroids: len(mixed) / 5, MinBatch: 1, Seed: 7,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sum, err := s.Summarize(mixed, 0, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	agg, err := AggregateSummaries([]*summary.Summary{sum})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return agg
+}
+
+// scaleQuestions generates and translates a seeded library.
+func scaleQuestions(tb testing.TB, n int, seed int64) []*rules.Question {
+	tb.Helper()
+	qs, err := rules.GenerateQuestions(rules.GenConfig{Rules: n, Seed: seed}, rules.NewEnvironment(), rules.DefaultTranslateConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(qs) != n {
+		tb.Fatalf("generated %d questions, want %d", len(qs), n)
+	}
+	return qs
+}
+
+// TestEvaluateAllIndexedEquivalence is the ISSUE 6 acceptance property:
+// the indexed sweep is byte-identical to the linear scan — the same
+// MatchResult in every field, in the same order — across library
+// scales and worker counts.
+func TestEvaluateAllIndexedEquivalence(t *testing.T) {
+	scales := []int{100, 1000, 10000}
+	if testing.Short() {
+		scales = []int{100, 1000}
+	}
+	agg := scaleAggregate(t, 11, 1500)
+	for _, n := range scales {
+		t.Run(fmt.Sprintf("rules=%d", n), func(t *testing.T) {
+			qs := scaleQuestions(t, n, 5)
+			ix, err := rules.NewQuestionIndex(qs, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := EvaluateAll(agg, qs)
+			cs := Candidates(agg, ix)
+			if cs.Count() >= len(qs) {
+				t.Fatalf("index pruned nothing (%d/%d candidates)", cs.Count(), len(qs))
+			}
+			matched := 0
+			for _, r := range want {
+				if r.Matched {
+					matched++
+				}
+			}
+			if matched == 0 {
+				t.Fatal("workload has no matching question — equivalence would be vacuous")
+			}
+			for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0), 0} {
+				got := EvaluateAllIndexedParallel(agg, qs, ix, workers)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+				}
+				for i := range got {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Fatalf("workers=%d question %d (sid %d): indexed result diverged\nlinear:  %+v\nindexed: %+v",
+							workers, i, qs[i].Rule.SID, want[i], got[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEvaluateAllIndexedNilIndex: a nil index degrades to the linear
+// scan instead of pruning anything.
+func TestEvaluateAllIndexedNilIndex(t *testing.T) {
+	agg := scaleAggregate(t, 12, 500)
+	qs := scaleQuestions(t, 200, 6)
+	want := EvaluateAll(agg, qs)
+	got := EvaluateAllIndexed(agg, qs, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("nil-index evaluation diverged from linear scan")
+	}
+}
+
+// TestRunFeedbackIndexedEquivalence extends byte-identity through the
+// two-stage feedback loop: with the index built at the τ_d2 bound,
+// indexed feedback must reproduce the full FeedbackResult — verdicts,
+// both stage results, fetch accounting — for every question.
+func TestRunFeedbackIndexedEquivalence(t *testing.T) {
+	agg := scaleAggregate(t, 13, 1200)
+	qs := scaleQuestions(t, 1500, 9)
+	cfgs := make([]FeedbackConfig, len(qs))
+	maxTau := make([]float64, len(qs))
+	for i, q := range qs {
+		cfgs[i] = FeedbackConfig{TauD1: q.DistanceThreshold * 0.5, TauD2: q.DistanceThreshold * 2, CountScale2: 0.5}
+		maxTau[i] = cfgs[i].TauD2
+	}
+	ix, err := rules.NewQuestionIndex(qs, maxTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if !ix.Covers(i, cfgs[i].TauD2) {
+			t.Fatalf("question %d: index bound does not cover τ_d2", i)
+		}
+	}
+	cs := Candidates(agg, ix)
+	if cs.Count() >= len(qs) {
+		t.Fatalf("index pruned nothing (%d/%d candidates)", cs.Count(), len(qs))
+	}
+	uncertain := 0
+	for i, q := range qs {
+		want, err := RunFeedback(agg, q, cfgs[i], nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunFeedbackIndexed(agg, q, cfgs[i], nil, nil, cs.Contains(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("question %d (sid %d, candidate=%v): feedback diverged\nlinear:  %+v\nindexed: %+v",
+				i, q.Rule.SID, cs.Contains(i), want, got)
+		}
+		if want.Verdict == VerdictUncertain {
+			uncertain++
+		}
+	}
+	if uncertain == 0 {
+		t.Fatal("no uncertain verdicts — feedback equivalence would miss the interesting case")
+	}
+}
+
+// TestEvaluateAllParallelOrderPin10k is the determinism satellite:
+// at 10k-rule scale the parallel sweep returns results in exactly the
+// sequential order for every worker count.
+func TestEvaluateAllParallelOrderPin10k(t *testing.T) {
+	n := 10000
+	if testing.Short() {
+		n = 2000
+	}
+	agg := scaleAggregate(t, 14, 1000)
+	qs := scaleQuestions(t, n, 21)
+	want := EvaluateAll(agg, qs)
+	for _, workers := range []int{1, 2, 3, 4, 8, runtime.GOMAXPROCS(0), 0} {
+		got := EvaluateAllParallel(agg, qs, workers)
+		for i := range got {
+			if got[i].Question != qs[i] {
+				t.Fatalf("workers=%d: result %d is for the wrong question", workers, i)
+			}
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d: result %d diverged from sequential", workers, i)
+			}
+		}
+	}
+}
+
+// TestEstimatorScratchReuse pins the scratch-pooling satellite: after
+// pool warmup, a pruned question costs one allocation (its result) and
+// a matching tracked question stays O(result size) — the per-question
+// sort/scratch slices no longer allocate.
+func TestEstimatorScratchReuse(t *testing.T) {
+	agg := scaleAggregate(t, 15, 1000)
+	qs := scaleQuestions(t, 500, 4)
+	// Warm the pool and find a question with a non-trivial tracked match.
+	var hot *rules.Question
+	for _, q := range qs {
+		if r := EstimateSimilarity(agg, q); len(r.AllMatchedRows) > 3 && q.TrackBy >= 0 {
+			hot = q
+		}
+	}
+	if hot == nil {
+		t.Skip("no tracked matching question in workload")
+	}
+	if got := testing.AllocsPerRun(100, func() { estimatePruned(agg, hot) }); got > 1 {
+		t.Errorf("pruned estimate: %.1f allocs/op, want ≤ 1", got)
+	}
+	if got := testing.AllocsPerRun(100, func() { EstimateSimilarity(agg, hot) }); got > 12 {
+		t.Errorf("tracked estimate: %.1f allocs/op, want ≤ 12 (scratch must come from the pool)", got)
+	}
+}
+
+// benchSizes are the ISSUE 6 sweep points.
+var benchSizes = []int{100, 1000, 10000}
+
+// BenchmarkEvaluateAllLinear is the baseline: the unindexed sweep at
+// equal centroid count.
+func BenchmarkEvaluateAllLinear(b *testing.B) {
+	agg := scaleAggregate(b, 16, 1500)
+	for _, n := range benchSizes {
+		qs := scaleQuestions(b, n, 5)
+		b.Run(fmt.Sprintf("rules=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				EvaluateAll(agg, qs)
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateAllIndexed measures the indexed sweep, including the
+// per-epoch candidate-set computation (the index build is per-library,
+// not per-epoch, and is measured separately).
+func BenchmarkEvaluateAllIndexed(b *testing.B) {
+	agg := scaleAggregate(b, 16, 1500)
+	for _, n := range benchSizes {
+		qs := scaleQuestions(b, n, 5)
+		ix, err := rules.NewQuestionIndex(qs, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("rules=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				EvaluateAllIndexed(agg, qs, ix)
+			}
+		})
+	}
+}
+
+// BenchmarkQuestionIndexBuild measures the per-library rebuild cost the
+// controller pays when the adaptive loop outgrows the indexed bound.
+func BenchmarkQuestionIndexBuild(b *testing.B) {
+	for _, n := range benchSizes {
+		qs := scaleQuestions(b, n, 5)
+		b.Run(fmt.Sprintf("rules=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rules.NewQuestionIndex(qs, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

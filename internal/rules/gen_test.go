@@ -1,0 +1,123 @@
+package rules
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGeneratedLibraryRoundTrip pins the ISSUE 6 parser-hardening
+// property: parse(gen(seed)) == gen(seed). Every generated line must
+// parse, and formatting the parsed rule must reproduce the line byte
+// for byte.
+func TestGeneratedLibraryRoundTrip(t *testing.T) {
+	n := 10000
+	if testing.Short() {
+		n = 1000
+	}
+	text := GenerateText(GenConfig{Rules: n, Seed: 42})
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	parsed := 0
+	for i, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := Parse(line)
+		if err != nil {
+			t.Fatalf("line %d: %v\n%s", i+1, err, line)
+		}
+		if got := r.Format(); got != line {
+			t.Fatalf("line %d: round trip diverged\n gen: %s\nfmt: %s", i+1, line, got)
+		}
+		parsed++
+	}
+	if parsed != n {
+		t.Fatalf("parsed %d rules, want %d", parsed, n)
+	}
+}
+
+// TestGenerateDeterministic: same seed, same bytes; different seed,
+// different bytes.
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateText(GenConfig{Rules: 200, Seed: 1})
+	b := GenerateText(GenConfig{Rules: 200, Seed: 1})
+	if a != b {
+		t.Fatal("same seed produced different libraries")
+	}
+	c := GenerateText(GenConfig{Rules: 200, Seed: 2})
+	if a == c {
+		t.Fatal("different seeds produced identical libraries")
+	}
+}
+
+// TestGenerateQuestionsTranslate: the whole library translates, every
+// question has at least one active field, and SIDs are unique.
+func TestGenerateQuestionsTranslate(t *testing.T) {
+	qs := GenerateQuestionsForTest(t, 2000, 3)
+	sids := make(map[int]bool)
+	for _, q := range qs {
+		if len(q.ActiveFields()) == 0 {
+			t.Fatalf("sid %d: no active fields", q.Rule.SID)
+		}
+		if sids[q.Rule.SID] {
+			t.Fatalf("duplicate sid %d", q.Rule.SID)
+		}
+		sids[q.Rule.SID] = true
+		if q.DistanceThreshold <= 0 {
+			t.Fatalf("sid %d: non-positive τ_d", q.Rule.SID)
+		}
+	}
+}
+
+// TestBuiltinLibraryFormatRoundTrip extends the fixed-point check to
+// the built-in attack rules: Format(Parse(x)) need not equal the
+// hand-written x, but it must be a fixed point of parse-then-format.
+func TestBuiltinLibraryFormatRoundTrip(t *testing.T) {
+	for _, id := range AllAttacks {
+		r, err := LibraryRule(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		once := r.Format()
+		r2, err := Parse(once)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", id, err, once)
+		}
+		if twice := r2.Format(); twice != once {
+			t.Fatalf("%s: not a fixed point\nonce:  %s\ntwice: %s", id, once, twice)
+		}
+	}
+}
+
+// FuzzParseRoundTrip fuzzes the parser with the generated corpus (and
+// the shipped sample file) as seeds. Property: any line that parses
+// must have a canonical form that is a fixed point of
+// parse-then-format.
+func FuzzParseRoundTrip(f *testing.F) {
+	for _, line := range strings.Split(GenerateText(GenConfig{Rules: 64, Seed: 99}), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			f.Add(line)
+		}
+	}
+	if data, err := os.ReadFile("testdata/sample.rules"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if line != "" && !strings.HasPrefix(line, "#") {
+				f.Add(line)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := Parse(line)
+		if err != nil {
+			return // rejected input is fine
+		}
+		once := r.Format()
+		r2, err := Parse(once)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\nin:  %q\nout: %q", err, line, once)
+		}
+		if twice := r2.Format(); twice != once {
+			t.Fatalf("canonical form is not a fixed point\nin:    %q\nonce:  %q\ntwice: %q", line, once, twice)
+		}
+	})
+}

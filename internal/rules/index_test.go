@@ -1,0 +1,187 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// qVec builds a question with the given sparse vector entries and τ_d.
+func qVec(tau float64, entries map[packet.FieldIndex]float64) *Question {
+	q := &Question{
+		Vector:            make([]float64, packet.NumFields),
+		DistanceThreshold: tau,
+		CountThreshold:    1,
+		TrackBy:           -1,
+	}
+	for i := range q.Vector {
+		q.Vector[i] = Irrelevant
+	}
+	for f, v := range entries {
+		q.Vector[f] = v
+	}
+	return q
+}
+
+func rowsOf(vecs ...[]float64) (int, func(int) []float64) {
+	return len(vecs), func(i int) []float64 { return vecs[i] }
+}
+
+func fullRow(entries map[packet.FieldIndex]float64) []float64 {
+	v := make([]float64, packet.NumFields)
+	for f, x := range entries {
+		v[f] = x
+	}
+	return v
+}
+
+func TestQuestionIndexSoundness(t *testing.T) {
+	// Three questions: one pinned near dst-port 0.2, one near 0.8, one
+	// loose on dst-port (constrains only SYN).
+	qs := []*Question{
+		qVec(0.01, map[packet.FieldIndex]float64{packet.FieldDstPort: 0.2, packet.FieldSYN: 1}),
+		qVec(0.01, map[packet.FieldIndex]float64{packet.FieldDstPort: 0.8, packet.FieldSYN: 1}),
+		qVec(0.05, map[packet.FieldIndex]float64{packet.FieldSYN: 1}),
+	}
+	ix, err := NewQuestionIndex(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ix.Len())
+	}
+	if ix.Signatures() != 2 {
+		t.Fatalf("Signatures = %d, want 2", ix.Signatures())
+	}
+
+	// A centroid at dst-port 0.2 with SYN: questions 0 and 2 must be
+	// candidates; question 1 (pinned at 0.8, τ·n = 0.02) must be pruned.
+	n, row := rowsOf(fullRow(map[packet.FieldIndex]float64{packet.FieldDstPort: 0.2, packet.FieldSYN: 1}))
+	cs := ix.Candidates(n, row)
+	if !cs.Contains(0) || !cs.Contains(2) {
+		t.Fatalf("expected questions 0 and 2 as candidates")
+	}
+	if cs.Contains(1) {
+		t.Fatalf("question pinned at 0.8 should be pruned for a 0.2 centroid")
+	}
+	if cs.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", cs.Count())
+	}
+}
+
+// TestQuestionIndexNeverMisses is the core soundness property on random
+// workloads: every question the exact Eq. 5 distance admits at τ_d must
+// be in the candidate set.
+func TestQuestionIndexNeverMisses(t *testing.T) {
+	qs := GenerateQuestionsForTest(t, 2000, 7)
+	ix, err := NewQuestionIndex(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic centroids spread over the axes the generator uses.
+	var rows [][]float64
+	for i := 0; i < 64; i++ {
+		rows = append(rows, fullRow(map[packet.FieldIndex]float64{
+			packet.FieldProtocol: float64(6+11*(i%2)) / 255,
+			packet.FieldDstPort:  float64(i) / 64,
+			packet.FieldSrcPort:  float64(63-i) / 64,
+			packet.FieldDstIP:    float64(i) / 64,
+			packet.FieldSYN:      float64(i % 2),
+			packet.FieldACK:      float64((i / 2) % 2),
+			packet.FieldWindow:   float64(i%3) / 3,
+		}))
+	}
+	cs := ix.Candidates(len(rows), func(i int) []float64 { return rows[i] })
+	missed := 0
+	for qi, q := range qs {
+		matches := false
+		for _, r := range rows {
+			if q.Distance(r) <= q.DistanceThreshold {
+				matches = true
+				break
+			}
+		}
+		if matches && !cs.Contains(qi) {
+			missed++
+			if missed <= 3 {
+				t.Errorf("question %d (sid %d) matches a centroid but was pruned", qi, q.Rule.SID)
+			}
+		}
+	}
+	if missed > 0 {
+		t.Fatalf("%d matchable questions pruned — index is unsound", missed)
+	}
+	if pruned := len(qs) - cs.Count(); pruned == 0 {
+		t.Fatalf("index pruned nothing on a selective workload — no pruning power")
+	}
+}
+
+func TestQuestionIndexCovers(t *testing.T) {
+	qs := []*Question{qVec(0.01, map[packet.FieldIndex]float64{packet.FieldDstPort: 0.2})}
+	ix, err := NewQuestionIndex(qs, []float64{0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Covers(0, 0.015) {
+		t.Fatal("Covers(0, 0.015) = false, want true (built at 0.02)")
+	}
+	if ix.Covers(0, 0.03) {
+		t.Fatal("Covers(0, 0.03) = true, want false")
+	}
+	if ix.Covers(-1, 0) || ix.Covers(1, 0) {
+		t.Fatal("out-of-range Covers must be false")
+	}
+}
+
+func TestQuestionIndexNilCandidateSet(t *testing.T) {
+	var cs *CandidateSet
+	if !cs.Contains(0) || !cs.Contains(12345) {
+		t.Fatal("nil CandidateSet must contain everything (no index ⇒ linear scan)")
+	}
+}
+
+func TestQuestionIndexErrors(t *testing.T) {
+	qs := []*Question{qVec(0.01, nil)}
+	if _, err := NewQuestionIndex(qs, []float64{1, 2}); err == nil {
+		t.Fatal("length-mismatched maxTau must error")
+	}
+	if _, err := NewQuestionIndex([]*Question{nil}, nil); err == nil {
+		t.Fatal("nil question must error")
+	}
+}
+
+// TestQuestionIndexNeverMatchable: a question with no active fields has
+// +Inf distance and must never be a candidate.
+func TestQuestionIndexNeverMatchable(t *testing.T) {
+	qs := []*Question{
+		qVec(0.05, nil), // all Irrelevant
+		qVec(0.05, map[packet.FieldIndex]float64{packet.FieldSYN: 1}),
+	}
+	ix, err := NewQuestionIndex(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, row := rowsOf(fullRow(map[packet.FieldIndex]float64{packet.FieldSYN: 1}))
+	cs := ix.Candidates(n, row)
+	if cs.Contains(0) {
+		t.Fatal("zero-active-field question must be pruned")
+	}
+	if !cs.Contains(1) {
+		t.Fatal("SYN question must be a candidate")
+	}
+}
+
+// GenerateQuestionsForTest builds a translated scale library for tests
+// in this and other packages' test files.
+func GenerateQuestionsForTest(t testing.TB, n int, seed int64) []*Question {
+	t.Helper()
+	env := NewEnvironment()
+	qs, err := GenerateQuestions(GenConfig{Rules: n, Seed: seed}, env, DefaultTranslateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) == 0 {
+		t.Fatal("generator yielded no questions")
+	}
+	return qs
+}

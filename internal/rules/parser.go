@@ -99,6 +99,9 @@ func parseAddress(s string) (AddressSpec, error) {
 	case s == "any":
 		a.Any = true
 	case strings.HasPrefix(s, "$"):
+		if len(s) == 1 {
+			return a, fmt.Errorf("empty address variable")
+		}
 		a.Var = strings.ToUpper(s[1:])
 	default:
 		if !strings.Contains(s, "/") {

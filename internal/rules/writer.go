@@ -1,0 +1,136 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the rule in the canonical form the parser accepts:
+// fixed header order, options in a fixed sequence, one rule per line.
+// Parse(r.Format()) reproduces r up to the Raw field, and Format is a
+// fixed point under parse-then-format — the round-trip property the
+// generated scale libraries and the fuzz harness pin
+// (TestGeneratedLibraryRoundTrip, FuzzParseRoundTrip).
+//
+// Options the parser records but the canonical form cannot carry
+// losslessly are sanitized: embedded double quotes are stripped from
+// msg/content/classtype, since the option splitter treats '"' as a
+// quoting toggle.
+func (r *Rule) Format() string {
+	var sb strings.Builder
+	sb.WriteString(string(r.Action))
+	sb.WriteByte(' ')
+	sb.WriteString(string(r.Protocol))
+	sb.WriteByte(' ')
+	sb.WriteString(formatAddress(r.Src))
+	sb.WriteByte(' ')
+	sb.WriteString(formatPort(r.SrcPort))
+	sb.WriteByte(' ')
+	if r.Direction == "<>" {
+		sb.WriteString("<>")
+	} else {
+		sb.WriteString("->")
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatAddress(r.Dst))
+	sb.WriteByte(' ')
+	sb.WriteString(formatPort(r.DstPort))
+
+	var opts []string
+	if r.Msg != "" {
+		// Manual quoting, not %q: the parser strips quotes verbatim and
+		// does not unescape, so escaping would break the fixed point.
+		opts = append(opts, `msg:"`+sanitizeOption(r.Msg)+`"`)
+	}
+	if r.Flags != nil {
+		opts = append(opts, "flags:"+formatFlags(r.Flags))
+	}
+	if r.Window >= 0 {
+		opts = append(opts, fmt.Sprintf("window:%d", r.Window))
+	}
+	if r.Filter != nil {
+		opts = append(opts, "detection_filter:"+formatFilter(r.Filter))
+	}
+	if r.Classtype != "" {
+		opts = append(opts, "classtype:"+sanitizeOption(r.Classtype))
+	}
+	for _, c := range r.Content {
+		opts = append(opts, `content:"`+sanitizeOption(c)+`"`)
+	}
+	if r.SID != 0 {
+		opts = append(opts, fmt.Sprintf("sid:%d", r.SID))
+	}
+	if r.Rev != 0 {
+		opts = append(opts, fmt.Sprintf("rev:%d", r.Rev))
+	}
+	if len(opts) > 0 {
+		sb.WriteString(" (")
+		for _, o := range opts {
+			sb.WriteString(o)
+			sb.WriteString("; ")
+		}
+		// Trim the trailing space, keep the final semicolon.
+		s := sb.String()
+		return s[:len(s)-1] + ")"
+	}
+	return sb.String()
+}
+
+// sanitizeOption strips the characters the semicolon-splitting option
+// syntax cannot represent inside a value: the quote toggle itself, and
+// (for unquoted values) separators handled by quoting elsewhere.
+func sanitizeOption(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '"', '\n', '\r', '\\':
+			return -1
+		}
+		return r
+	}, s)
+}
+
+func formatAddress(a AddressSpec) string {
+	var neg string
+	if a.Negated {
+		neg = "!"
+	}
+	switch {
+	case a.Var != "":
+		return neg + "$" + a.Var
+	case a.Any:
+		return neg + "any"
+	default:
+		return neg + a.Prefix.String()
+	}
+}
+
+func formatPort(p PortSpec) string {
+	var neg string
+	if p.Negated {
+		neg = "!"
+	}
+	switch {
+	case p.Any:
+		return neg + "any"
+	case p.Ranged:
+		return fmt.Sprintf("%s%d:%d", neg, p.Lo, p.Hi)
+	default:
+		return fmt.Sprintf("%s%d", neg, p.Port)
+	}
+}
+
+func formatFlags(fs *FlagSpec) string {
+	s := fs.Set.String() // "0" when no flag bits are set
+	if !fs.Exact {
+		s += "+"
+	}
+	return s
+}
+
+func formatFilter(df *DetectionFilter) string {
+	track := "by_dst"
+	if df.TrackBySrc {
+		track = "by_src"
+	}
+	return fmt.Sprintf("track %s, count %d, seconds %d", track, df.Count, df.Seconds)
+}

@@ -14,6 +14,8 @@
 //	                [-timeout 10s] [-retries 5] [-backoff 100ms] [-backoff-max 5s]
 //	                [-alert-addr host:7200]
 //	                [-obs :9100] [-epochlog controller.jsonl]
+//	                [-trace] [-trace-out epochs.trace.json]
+//	                [-trace-ring 64] [-trace-slow 250ms]
 //
 // Every wire exchange runs under -timeout and survives connection loss:
 // a failed poll backs off (capped exponential, jittered), redials,
@@ -36,6 +38,16 @@
 // the jaal_controller_compression_ratio gauge there is the live
 // Fig. 12 overhead-vs-raw view. -epochlog appends one JSON record per
 // inference round.
+//
+// -trace records one causal timeline per epoch — capture/summarize/
+// encode spans shipped by tracing monitors inside their summary frames,
+// plus the controller's ship/decode/infer/alert spans — retained in a
+// ring served as JSON at GET /trace on the -obs address. -trace-out
+// additionally writes the ring as a Chrome trace-event file on
+// SIGINT/SIGTERM; load it in Perfetto (ui.perfetto.dev) to see the
+// per-monitor lanes. Tracing never alters alerts: frames from
+// tracing-off monitors are byte-identical to pre-trace builds, and the
+// disabled path costs one atomic load.
 package main
 
 import (
@@ -45,7 +57,9 @@ import (
 	"net"
 	"net/netip"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/adapt"
@@ -53,6 +67,7 @@ import (
 	"repro/internal/inference"
 	"repro/internal/obs"
 	"repro/internal/rules"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -80,6 +95,10 @@ func main() {
 		alertAddr   = flag.String("alert-addr", "", "ship alerts as MsgAlert frames to this sink address (empty = log only)")
 		obsAddr     = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (empty = observability off)")
 		epochLog    = flag.String("epochlog", "", "append JSON-lines epoch log to this file (empty = off)")
+		traceOn     = flag.Bool("trace", false, "record per-epoch stage timelines (serve them at /trace on the -obs address)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event file (Perfetto-loadable) on shutdown; implies -trace")
+		traceRing   = flag.Int("trace-ring", 0, "epoch traces retained for /trace and -trace-out (0 = default 64)")
+		traceSlow   = flag.Duration("trace-slow", 0, "pin epochs slower than this as exemplars (0 = default 250ms, negative = off)")
 	)
 	flag.Parse()
 
@@ -93,12 +112,35 @@ func main() {
 		Jitter: rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 
+	if *traceOut != "" {
+		*traceOn = true
+	}
+	if *traceOn {
+		trace.Configure(trace.Config{RingSize: *traceRing, SlowThreshold: *traceSlow})
+		trace.SetEnabled(true)
+		log.Printf("epoch tracing on")
+	}
 	if *obsAddr != "" {
 		addr, err := obs.Serve(*obsAddr)
 		if err != nil {
 			log.Fatalf("jaal-controller: obs: %v", err)
 		}
-		log.Printf("observability on %s (/metrics, /debug/pprof)", addr)
+		log.Printf("observability on %s (/metrics, /debug/pprof, /trace)", addr)
+	}
+	if *traceOut != "" {
+		// Flush the timeline file on SIGINT/SIGTERM — the natural end of
+		// a daemon run.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := trace.WriteTraceFile(*traceOut); err != nil {
+				log.Printf("jaal-controller: trace-out: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("wrote epoch trace to %s", *traceOut)
+			os.Exit(0)
+		}()
 	}
 	var epochLogger *obs.EpochLogger
 	if *epochLog != "" {
@@ -196,21 +238,23 @@ func main() {
 	ticker := time.NewTicker(*epoch)
 	defer ticker.Stop()
 	for range ticker.C {
+		epochN := ctrl.Epoch()
 		pollStart := time.Now()
-		res := poller.Poll(ctrl.Epoch())
+		res := poller.Poll(epochN)
 		for _, d := range res.Declines {
 			if d.Unreachable() {
 				log.Printf("monitor %d unreachable for epoch %d: %v", d.MonitorID, d.Epoch, d.Err)
 			}
 		}
 		if res.Degraded {
-			log.Printf("epoch %d degraded: proceeding with %d summaries", ctrl.Epoch(), len(res.Summaries))
+			log.Printf("epoch %d degraded: proceeding with %d summaries", epochN, len(res.Summaries))
 		}
 		pollDur := time.Since(pollStart)
 		inferStart := time.Now()
 		alerts, err := ctrl.ProcessEpoch(res.Summaries)
 		if err != nil {
 			log.Printf("inference: %v", err)
+			trace.FinishEpoch(epochN, 0)
 			continue
 		}
 		for _, a := range alerts {
@@ -221,6 +265,10 @@ func main() {
 				}
 			}
 		}
+		// Seal the epoch's timeline: every span staged for this epoch —
+		// local ship/infer plus the monitors' wire-shipped contexts — is
+		// assembled, the critical path computed, and the trace ringed.
+		trace.FinishEpoch(epochN, len(alerts))
 		st := ctrl.Stats()
 		// Guarded (obshot): the KV literals and boxed values would
 		// allocate every epoch even with logging disabled.

@@ -6,13 +6,19 @@
 // Usage:
 //
 //	jaal-monitor -listen :7101 -id 0 [-batch 1000] [-rank 12] [-k 200]
-//	             [-trace 1] [-attack distributed_syn_flood] [-pps 5000]
-//	             [-obs :9101] [-epochlog monitor.jsonl]
+//	             [-trace-seed 1] [-attack distributed_syn_flood] [-pps 5000]
+//	             [-obs :9101] [-epochlog monitor.jsonl] [-trace]
 //
 // -obs enables metric collection and serves Prometheus-text
 // GET /metrics plus net/http/pprof on the given address (default off).
 // -epochlog appends one JSON record per summary poll with stage
 // timings and queue depths.
+//
+// -trace stamps capture/summarize/collect/encode spans on each batch
+// and ships them to the controller inside the summary frames (a
+// version-tolerant trailer old controllers ignore), where they join the
+// controller's per-epoch timeline at /trace. Off by default; off means
+// wire frames identical to pre-trace builds.
 //
 // The monitor synthesizes background traffic continuously (standing in
 // for a tap on a production link) and optionally mixes in a labeled
@@ -32,26 +38,32 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/summary"
+	"repro/internal/trace"
 	"repro/internal/trafficgen"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":7101", "address to serve the controller on")
-		id       = flag.Int("id", 0, "monitor ID")
-		batch    = flag.Int("batch", 1000, "batch size n")
-		rank     = flag.Int("rank", 12, "retained SVD rank r")
-		k        = flag.Int("k", 200, "number of centroids k")
-		nmin     = flag.Int("nmin", 600, "minimum batch size n_min")
-		trace    = flag.Int64("trace", 1, "background trace seed (1 or 2)")
-		attack   = flag.String("attack", "", "attack to inject (empty = clean traffic)")
-		pps      = flag.Int("pps", 5000, "synthesized packets per second")
-		obsAddr  = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (empty = observability off)")
-		epochLog = flag.String("epochlog", "", "append JSON-lines epoch log to this file (empty = off)")
-		writeTO  = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline; a stalled controller cannot wedge a serving goroutine (0 = none)")
+		listen    = flag.String("listen", ":7101", "address to serve the controller on")
+		id        = flag.Int("id", 0, "monitor ID")
+		batch     = flag.Int("batch", 1000, "batch size n")
+		rank      = flag.Int("rank", 12, "retained SVD rank r")
+		k         = flag.Int("k", 200, "number of centroids k")
+		nmin      = flag.Int("nmin", 600, "minimum batch size n_min")
+		traceSeed = flag.Int64("trace-seed", 1, "background trace seed (1 or 2)")
+		traceOn   = flag.Bool("trace", false, "stamp per-stage spans and ship them with each summary")
+		attack    = flag.String("attack", "", "attack to inject (empty = clean traffic)")
+		pps       = flag.Int("pps", 5000, "synthesized packets per second")
+		obsAddr   = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (empty = observability off)")
+		epochLog  = flag.String("epochlog", "", "append JSON-lines epoch log to this file (empty = off)")
+		writeTO   = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline; a stalled controller cannot wedge a serving goroutine (0 = none)")
 	)
 	flag.Parse()
 
+	if *traceOn {
+		trace.SetEnabled(true)
+		log.Printf("epoch tracing on: shipping spans with each summary")
+	}
 	if *obsAddr != "" {
 		addr, err := obs.Serve(*obsAddr)
 		if err != nil {
@@ -76,7 +88,7 @@ func main() {
 		log.Fatalf("jaal-monitor: %v", err)
 	}
 
-	bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(*trace))
+	bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(*traceSeed))
 	var atk trafficgen.Attack
 	if *attack != "" {
 		atk, err = trafficgen.NewAttack(rules.AttackID(*attack), trafficgen.AttackConfig{Seed: int64(*id) + 100})

@@ -2,17 +2,21 @@
 //
 // Two modes:
 //
-//	jaal-pcap gen -out trace.pcap [-packets 10000] [-trace 1]
+//	jaal-pcap gen -out trace.pcap [-packets 10000] [-trace-seed 1]
 //	              [-attack distributed_syn_flood]
 //
 // writes a synthetic Jaal workload as a standard .pcap file (raw IPv4
 // link type, valid checksums) that tcpdump/Wireshark can open; and
 //
 //	jaal-pcap detect -in trace.pcap [-batch 1000] [-rank 12] [-k 200]
-//	                 [-home 10.0.0.0/8]
+//	                 [-home 10.0.0.0/8] [-trace] [-trace-out epochs.trace.json]
 //
 // replays a capture through a Jaal monitor+controller pair, printing
 // per-epoch alerts — the closest thing to pointing Jaal at real traffic.
+// -trace records one causal stage timeline per epoch; -trace-out writes
+// them as a Chrome trace-event file Perfetto (ui.perfetto.dev) loads
+// directly, one lane per monitor plus the controller. Tracing never
+// changes the alert output.
 //
 // gen also writes a <out>.labels.json ground-truth sidecar (the attack
 // injected and which packet indexes carry it); when detect finds the
@@ -35,6 +39,7 @@ import (
 	"repro/internal/pcap"
 	"repro/internal/rules"
 	"repro/internal/summary"
+	"repro/internal/trace"
 	"repro/internal/trafficgen"
 )
 
@@ -61,7 +66,7 @@ func runGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	out := fs.String("out", "trace.pcap", "output capture path")
 	packets := fs.Int("packets", 10000, "number of packets")
-	trace := fs.Int64("trace", 1, "background trace seed")
+	seed := fs.Int64("trace-seed", 1, "background trace seed")
 	attack := fs.String("attack", "", "attack to inject (empty = clean)")
 	fs.Parse(args)
 
@@ -71,15 +76,15 @@ func runGen(args []string) error {
 	}
 	defer f.Close()
 
-	bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(*trace))
+	bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(*seed))
 	var atk trafficgen.Attack
 	if *attack != "" {
-		atk, err = trafficgen.NewAttack(rules.AttackID(*attack), trafficgen.AttackConfig{Seed: *trace})
+		atk, err = trafficgen.NewAttack(rules.AttackID(*attack), trafficgen.AttackConfig{Seed: *seed})
 		if err != nil {
 			return err
 		}
 	}
-	mix := trafficgen.NewMixer(bg, atk, trafficgen.MixConfig{Seed: *trace})
+	mix := trafficgen.NewMixer(bg, atk, trafficgen.MixConfig{Seed: *seed})
 
 	labels := Labels{Attack: *attack}
 	w := pcap.NewWriter(f, pcap.LinkTypeRaw, 0)
@@ -158,8 +163,14 @@ func runDetect(args []string) error {
 	home := fs.String("home", "10.0.0.0/8", "HOME_NET prefix")
 	epochVolume := fs.Int("epoch", 4000, "packets per inference epoch")
 	stats := fs.Bool("stats", false, "collect runtime metrics and print the observability summary table to stderr")
+	traceOn := fs.Bool("trace", false, "record per-epoch stage timelines")
+	traceOut := fs.String("trace-out", "", "write the timelines as a Chrome trace-event file; implies -trace")
 	fs.Parse(args)
 	obs.SetEnabled(*stats)
+	if *traceOut != "" {
+		*traceOn = true
+	}
+	trace.SetEnabled(*traceOn)
 
 	prefix, err := netip.ParsePrefix(*home)
 	if err != nil {
@@ -282,6 +293,12 @@ func runDetect(args []string) error {
 	}
 	if *stats {
 		obs.WriteTable(os.Stderr)
+	}
+	if *traceOut != "" {
+		if err := trace.WriteTraceFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote epoch trace to %s\n", *traceOut)
 	}
 	return nil
 }

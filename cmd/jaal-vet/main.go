@@ -27,6 +27,7 @@ import (
 	"repro/internal/analysis/lockcopy"
 	"repro/internal/analysis/mapiter"
 	"repro/internal/analysis/obshot"
+	"repro/internal/analysis/spanend"
 	"repro/internal/analysis/unusedhelper"
 	"repro/internal/analysis/wireerr"
 )
@@ -39,6 +40,7 @@ var all = []*analysis.Analyzer{
 	lockcopy.Analyzer,
 	mapiter.Analyzer,
 	obshot.Analyzer,
+	spanend.Analyzer,
 	unusedhelper.Analyzer,
 	wireerr.Analyzer,
 }

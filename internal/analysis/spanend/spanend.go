@@ -1,0 +1,214 @@
+// Package spanend enforces the span lifecycle contract of the tracing
+// layer (internal/trace, and historically internal/obs): every value
+// returned by a Start*Span* constructor must reach an End() call.
+// A span that is started but never ended silently drops its stage from
+// the epoch timeline and, when a histogram is attached, from the
+// aggregate metrics — the instrumentation point looks wired but records
+// nothing.
+//
+// The analyzer flags a Start*Span* call whose result is
+//
+//   - discarded (`trace.StartSpan(...)` as a statement),
+//   - assigned to the blank identifier, or
+//   - bound to a local variable that is never the receiver of an
+//     End() call anywhere in the file (closures included).
+//
+// Chained endings (`defer trace.StartSpan(...).End()`) and escaping
+// results (returned, passed to another function, stored in a struct)
+// are accepted — ownership of the End obligation moved elsewhere.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the spanend checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "require End() on every Start*Span* result",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+// spanPackage reports whether path is one of the packages whose span
+// constructors carry the End obligation.
+func spanPackage(path string) bool {
+	return path == "trace" || strings.HasSuffix(path, "/trace") ||
+		path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+// spanStart resolves call's callee when it is a span constructor:
+// a function named Start…Span… from a span package.
+func spanStart(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !spanPackage(fn.Pkg().Path()) {
+		return nil
+	}
+	name := fn.Name()
+	if !strings.HasPrefix(name, "Start") || !strings.Contains(name, "Span") {
+		return nil
+	}
+	return fn
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	if spanPackage(pass.Pkg.Path()) {
+		// The span packages own the lifecycle; their internals (and
+		// tests exercising non-End paths) are exempt.
+		return
+	}
+
+	// tracked maps a local span variable to the constructor call that
+	// produced it, pending proof of an End.
+	tracked := map[*types.Var]*ast.CallExpr{}
+
+	// Pass 1: classify every span-start call by its syntactic context.
+	// The parent stack tells a discarded result from a chained .End()
+	// from an escaping use.
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := spanStart(pass, call)
+		if fn == nil {
+			return true
+		}
+		switch parent := parentOf(stack).(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(),
+				"result of %s.%s discarded: the span never Ends and records nothing",
+				fn.Pkg().Name(), fn.Name())
+		case *ast.SelectorExpr:
+			// Chained use: only an immediate .End() settles the span;
+			// any other selector loses the value unended.
+			if parent.Sel.Name != "End" {
+				pass.Reportf(call.Pos(),
+					"result of %s.%s used without End(): chain .End() or bind it to a variable",
+					fn.Pkg().Name(), fn.Name())
+			}
+		case *ast.AssignStmt:
+			// Only the whole-result binding forms are lifecycle events;
+			// a start call on the RHS of a multi-value expression is an
+			// escape (handled by default).
+			for i, rhs := range parent.Rhs {
+				if rhs != ast.Expr(call) || i >= len(parent.Lhs) {
+					continue
+				}
+				id, ok := parent.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue // field/index destination: escaped
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(),
+						"result of %s.%s assigned to _: the span never Ends and records nothing",
+						fn.Pkg().Name(), fn.Name())
+					continue
+				}
+				if v := localVar(pass, id); v != nil {
+					tracked[v] = call
+				}
+			}
+		}
+		return true
+	})
+
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 2: settle each tracked variable. An `x.End` selector ends
+	// it; any other read escapes it (the End obligation moved with the
+	// value) — except a blank assignment `_ = x`, which reads the span
+	// only to satisfy the compiler. A variable with neither End nor
+	// escape is a dead span.
+	ended := map[*types.Var]bool{}
+	escaped := map[*types.Var]bool{}
+	stack = stack[:0]
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || tracked[v] == nil {
+			return true
+		}
+		switch parent := parentOf(stack).(type) {
+		case *ast.SelectorExpr:
+			if parent.X == ast.Expr(id) && parent.Sel.Name == "End" {
+				ended[v] = true
+				return true
+			}
+		case *ast.AssignStmt:
+			if allBlank(parent.Lhs) {
+				return true // `_ = x` keeps the compiler quiet, not the span
+			}
+		}
+		escaped[v] = true
+		return true
+	})
+	for v, call := range tracked {
+		if ended[v] || escaped[v] {
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"span %s is started but never Ends: it records nothing", v.Name())
+	}
+}
+
+// allBlank reports whether every assignment destination is the blank
+// identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		if id, ok := e.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// parentOf returns the syntactic parent of the node on top of stack.
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}
+
+// localVar resolves id to the variable it defines or uses.
+func localVar(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+// Negative spanend fixture: a package whose import path ends in the
+// span-package set is the lifecycle owner — its internals (tests of
+// non-End paths included) start spans freely.
+package trace
+
+import "repro/internal/trace"
+
+func lifecycleOwner(epoch uint64) {
+	trace.StartSpan(nil, trace.StageInfer, trace.ControllerProc, epoch)
+	_ = trace.StartMonitorSpan(nil, trace.StageEncode, 0, epoch)
+}

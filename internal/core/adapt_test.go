@@ -117,7 +117,7 @@ func TestFetcherMemoHitReportsZeroTransfer(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctrl.RegisterSource(3, m)
-	fet := newFetcher(ctrl)
+	fet := newFetcher(ctrl, 0)
 	ref := inference.CentroidRef{MonitorID: 3, Epoch: ss[0].Epoch, Centroid: centroid}
 
 	hs1, transferred1, err := fet.FetchRaw(ref)

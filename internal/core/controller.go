@@ -7,12 +7,12 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/inference"
-	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/par"
 	"repro/internal/rules"
 	"repro/internal/snort"
 	"repro/internal/summary"
+	"repro/internal/trace"
 )
 
 // RawSource abstracts how the controller reaches a monitor's retained
@@ -245,14 +245,17 @@ func (c *Controller) RegisterSource(monitorID int, src RawSource) {
 // questions race for them, keeping the accounting deterministic.
 type fetcher struct {
 	c *Controller
+	// epoch is the controller epoch the round runs under; raw-fetch
+	// trace spans join this epoch's timeline.
+	epoch uint64
 
 	mu    sync.Mutex
 	memo  map[inference.CentroidRef][]packet.Header
 	bytes int // deduplicated raw-header count for stats
 }
 
-func newFetcher(c *Controller) *fetcher {
-	return &fetcher{c: c, memo: make(map[inference.CentroidRef][]packet.Header)}
+func newFetcher(c *Controller, epoch uint64) *fetcher {
+	return &fetcher{c: c, epoch: epoch, memo: make(map[inference.CentroidRef][]packet.Header)}
 }
 
 // FetchRaw implements inference.RawPacketFetcher. A memo hit reports
@@ -274,7 +277,11 @@ func (f *fetcher) FetchRaw(ref inference.CentroidRef) ([]packet.Header, int, err
 	if !ok {
 		return nil, 0, fmt.Errorf("core: no raw source for monitor %d", ref.MonitorID)
 	}
+	// Each memoized miss is one feedback round trip: a span per fetch
+	// shows exactly which centroid pulls stretched the epoch.
+	sp := trace.StartSpan(hRawFetchSeconds, trace.StageRawFetch, ref.MonitorID, f.epoch)
 	hs := src.RawPackets(ref.Epoch, ref.Centroid)
+	sp.End()
 	f.memo[ref] = hs
 	f.bytes += len(hs)
 	return hs, len(hs), nil
@@ -283,7 +290,7 @@ func (f *fetcher) FetchRaw(ref inference.CentroidRef) ([]packet.Header, int, err
 // ProcessEpoch runs one inference round over the summaries collected
 // from all monitors and returns the alerts raised (§5.1–§5.3).
 func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Alert, error) {
-	defer obs.StartSpan(hEpochSeconds).End()
+	defer trace.StartSpan(hEpochSeconds, trace.StageInfer, trace.ControllerProc, c.Epoch()).End()
 	agg, err := inference.AggregateSummaries(summaries)
 	if err != nil {
 		return nil, err
@@ -308,7 +315,7 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 	cPacketsSummarized.Add(int64(agg.TotalPackets))
 
 	matcher := snort.RawMatcher{Env: c.env}
-	fet := newFetcher(c)
+	fet := newFetcher(c, epoch)
 
 	// One candidate-set computation covers every question this epoch; a
 	// nil index (DisableIndex) yields a nil set whose Contains is
@@ -349,6 +356,7 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 		results[i] = qresult{match: inference.EstimateSimilarityIndexed(agg, q, cs.Contains(i))}
 	})
 
+	asp := trace.StartSpan(nil, trace.StageAlertEmit, trace.ControllerProc, epoch)
 	var alerts []*inference.Alert
 	for i, id := range ids {
 		r := results[i]
@@ -367,6 +375,7 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 			alerts = append(alerts, inference.NewAlertFromMatch(id, epoch, r.match, c.clock))
 		}
 	}
+	asp.End()
 
 	if c.adapter != nil {
 		// Feed the adapter the same per-epoch quantities the obs

@@ -91,6 +91,8 @@ var (
 		"wall time of one monitor's summary collection during RunEpoch", obs.DurationBuckets())
 	hRunEpochSeconds = obs.NewHistogram("jaal_pipeline_epoch_seconds",
 		"wall time of one full RunEpoch (collect fan-out + inference)", obs.DurationBuckets())
+	hRawFetchSeconds = obs.NewHistogram("jaal_feedback_fetch_seconds",
+		"wall time of one feedback-loop raw-packet fetch (memo misses only)", obs.DurationBuckets())
 )
 
 // countVerdict tallies one feedback verdict per §5.3 case.

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/packet"
 	"repro/internal/summary"
+	"repro/internal/trace"
 )
 
 // Monitor is one in-network monitoring point: it ingests the packet
@@ -104,6 +105,14 @@ func (m *Monitor) summarize(batch *summary.Batch) error {
 	m.ready = append(m.ready, s)
 	m.mu.Unlock()
 	cSummariesQueued.Inc()
+	// The batch's capture window was stamped by the buffer as it filled
+	// (zero timestamps when tracing was off); record it as a span now
+	// that the batch reached a summary, so the timeline shows fill time
+	// next to compute time.
+	if batch.FirstNano > 0 && batch.SealedNano >= batch.FirstNano {
+		trace.RecordSpan(trace.StageCapture, m.id, batch.Epoch,
+			batch.FirstNano, batch.SealedNano-batch.FirstNano)
+	}
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/par"
 	"repro/internal/summary"
+	"repro/internal/trace"
 )
 
 // Pipeline is the in-process deployment of Jaal used by experiments and
@@ -146,26 +147,20 @@ func (p *Pipeline) IngestBatch(hs []packet.Header) error {
 // monitor index order before inference, so the aggregate (and with it
 // every alert and figure) is identical for any worker count.
 func (p *Pipeline) RunEpoch() ([]*inference.Alert, error) {
-	epochSpan := obs.StartSpan(hRunEpochSeconds)
 	epoch := p.Controller.Epoch()
-	// Stage timings are collected only when someone will read them
-	// (epoch log or metrics); they never influence the epoch itself.
-	timed := p.epochLog != nil || obs.Enabled()
+	epochSpan := trace.StartSpan(hRunEpochSeconds, trace.StageEpoch, trace.ControllerProc, epoch)
+	// Epoch-log timings force the span timer even with metrics and
+	// tracing both off; they never influence the epoch itself.
+	timed := p.epochLog != nil
 
 	perMon := make([][]*summary.Summary, len(p.Monitors))
 	pending := make([]int, len(p.Monitors))
 	collectDur := make([]time.Duration, len(p.Monitors))
 	errs := make([]error, len(p.Monitors))
 	par.For(len(p.Monitors), p.workers, func(i int) {
-		var start time.Time
-		if timed {
-			start = time.Now() //jaalvet:ignore detrand — stage timing feeds only metrics/epoch log (gated by timed); alerts and stats never depend on it
-		}
+		sp := trace.StartSpanWhen(timed, hCollectSeconds, trace.StageCollect, p.Monitors[i].ID(), epoch)
 		perMon[i], pending[i], errs[i] = p.Monitors[i].CollectSummaries()
-		if timed {
-			collectDur[i] = time.Since(start) //jaalvet:ignore detrand — stage timing feeds only metrics/epoch log (gated by timed); alerts and stats never depend on it
-			hCollectSeconds.Observe(collectDur[i].Seconds())
-		}
+		collectDur[i] = sp.End()
 	})
 	var all []*summary.Summary
 	for i, ss := range perMon {
@@ -173,6 +168,12 @@ func (p *Pipeline) RunEpoch() ([]*inference.Alert, error) {
 			return nil, errs[i]
 		}
 		all = append(all, ss...)
+	}
+	// In-process deployment: no wire, so the spans each monitor staged
+	// (capture, summarize) join the epoch directly, stamped on the same
+	// clock — no offset normalization needed.
+	for _, m := range p.Monitors {
+		trace.AdoptMonitorSpans(epoch, m.ID())
 	}
 
 	var inferStart time.Time
@@ -203,5 +204,6 @@ func (p *Pipeline) RunEpoch() ([]*inference.Alert, error) {
 			obs.KV{K: "overhead_fraction", V: st.OverheadFraction()})
 	}
 	epochSpan.End()
+	trace.FinishEpoch(epoch, len(alerts))
 	return alerts, nil
 }

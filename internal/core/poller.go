@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/par"
 	"repro/internal/summary"
+	"repro/internal/trace"
 )
 
 // MonitorDecline records a monitor that contributed no summaries to an
@@ -66,7 +67,13 @@ func (p *Poller) Poll(epoch uint64) PollResult {
 	pending := make([]int, len(p.Remotes))
 	errs := make([]error, len(p.Remotes))
 	par.For(len(p.Remotes), p.Workers, func(i int) {
+		// The ship span covers the whole wire round trip (request, the
+		// monitor's collect+encode, transfer, decode) as seen from the
+		// controller; the per-stage breakdown inside it arrives with the
+		// monitor's trace context.
+		sp := trace.StartSpan(nil, trace.StageShip, p.Remotes[i].ID(), epoch)
 		perMon[i], pending[i], errs[i] = p.Remotes[i].Poll(epoch)
+		sp.End()
 	})
 
 	var res PollResult

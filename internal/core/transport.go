@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/summary"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -78,11 +79,12 @@ func (s *MonitorServer) handle(conn net.Conn, msg *wire.Message) error {
 		if err != nil {
 			return err
 		}
-		var start time.Time
-		if s.EpochLog != nil {
-			start = time.Now() //jaalvet:ignore detrand — collect timing feeds only the epoch log; the wire protocol carries no timestamps
-		}
+		// One span feeds the epoch log and, when tracing, the staged
+		// collect stage that ships with this poll's trace context.
+		csp := trace.StartMonitorSpanWhen(s.EpochLog != nil, nil,
+			trace.StageCollect, s.Monitor.ID(), epoch)
 		ss, pending, err := s.Monitor.CollectSummaries()
+		collectDur := csp.End()
 		if err != nil && !errors.Is(err, summary.ErrBatchTooSmall) {
 			return err
 		}
@@ -91,19 +93,31 @@ func (s *MonitorServer) handle(conn net.Conn, msg *wire.Message) error {
 				obs.KV{K: "id", V: s.Monitor.ID()},
 				obs.KV{K: "summaries", V: len(ss)},
 				obs.KV{K: "pending", V: pending},
-				obs.KV{K: "collect_ms", V: time.Since(start)}) //jaalvet:ignore detrand — collect timing feeds only the epoch log; the wire protocol carries no timestamps
+				obs.KV{K: "collect_ms", V: collectDur})
 		}
 		if len(ss) == 0 {
 			return wire.WriteFrame(conn, wire.MsgSummaryDecline,
 				wire.EncodeSummaryDecline(s.Monitor.ID(), epoch, pending))
 		}
-		// Ship every queued summary, then an empty decline as the
-		// end-of-poll marker.
-		for _, sum := range ss {
-			data, err := sum.Marshal()
-			if err != nil {
+		// Marshal everything first (timed as the encode stage), then
+		// drain the staged spans into a trace-context block appended to
+		// the first summary payload — so the context includes the encode
+		// span itself, and tracing-off frames are byte-identical to the
+		// pre-trace wire format.
+		esp := trace.StartMonitorSpan(nil, trace.StageEncode, s.Monitor.ID(), epoch)
+		payloads := make([][]byte, len(ss))
+		for i, sum := range ss {
+			if payloads[i], err = sum.Marshal(); err != nil {
 				return err
 			}
+		}
+		esp.End()
+		if ctx := trace.TakeContext(s.Monitor.ID()); ctx != nil {
+			payloads[0] = ctx.AppendWire(payloads[0])
+		}
+		// Ship every queued summary, then an empty decline as the
+		// end-of-poll marker.
+		for _, data := range payloads {
 			if err := wire.WriteFrame(conn, wire.MsgSummary, data); err != nil {
 				return err
 			}
@@ -416,10 +430,17 @@ func (r *RemoteMonitor) Poll(epoch uint64) (ss []*summary.Summary, pending int, 
 			}
 			switch msg.Type {
 			case wire.MsgSummary:
-				s, err := summary.Unmarshal(msg.Payload)
+				// Stamp receipt before decoding: the monitor's clock
+				// offset is computed against this instant, so decode time
+				// must not pollute it.
+				recv := trace.NowNano()
+				dsp := trace.StartSpan(nil, trace.StageDecode, r.id, epoch)
+				s, ctx, err := decodeSummaryPayload(msg.Payload)
+				dsp.End()
 				if err != nil {
 					return err
 				}
+				trace.AddRemoteContext(epoch, ctx, recv)
 				ss = append(ss, s)
 			case wire.MsgSummaryDecline:
 				_, _, pending, err = wire.DecodeSummaryDecline(msg.Payload)
@@ -433,6 +454,29 @@ func (r *RemoteMonitor) Poll(epoch uint64) (ss []*summary.Summary, pending int, 
 		return nil, 0, err
 	}
 	return ss, pending, nil
+}
+
+// decodeSummaryPayload splits a MsgSummary payload into the encoded
+// summary and the optional trailing trace-context block a tracing
+// monitor appends (see trace.Context). Plain payloads — from old peers
+// or tracing-off monitors — yield a nil context.
+func decodeSummaryPayload(p []byte) (*summary.Summary, *trace.Context, error) {
+	n, err := summary.EncodedLen(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := summary.Unmarshal(p[:n])
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == len(p) {
+		return s, nil, nil
+	}
+	ctx, err := trace.DecodeContext(p[n:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: summary trace context: %w", err)
+	}
+	return s, ctx, nil
 }
 
 // PollSummaries asks the monitor for its queued summaries for the given

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Bucket-boundary semantics: bounds are inclusive upper edges, so a
+// value exactly on an edge lands in that edge's bucket, values above
+// the largest bound land in +Inf, and zero/negative values land in the
+// first bucket. These are the edges a histogram misconfiguration would
+// silently shift by one — pinned here so DurationBuckets consumers can
+// rely on them.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	resetOn(t)
+	h := bHist
+	h.Reset()
+
+	// Exact edges: each must land in its own bucket, inclusively.
+	for _, edge := range []float64{0.1, 1, 10} {
+		h.Observe(edge)
+	}
+	counts := bucketCounts(h)
+	for i, want := range []int64{1, 1, 1, 0} {
+		if counts[i] != want {
+			t.Fatalf("after edge observations, bucket[%d] = %d, want %d (counts %v)", i, counts[i], want, counts)
+		}
+	}
+
+	// Just above an edge spills into the next bucket.
+	h.Reset()
+	h.Observe(0.1000001)
+	if counts = bucketCounts(h); counts[0] != 0 || counts[1] != 1 {
+		t.Fatalf("value just above edge landed in %v", counts)
+	}
+
+	// Overflow: above the largest bound goes to +Inf only.
+	h.Reset()
+	h.Observe(10.0000001)
+	h.Observe(1e12)
+	if counts = bucketCounts(h); counts[3] != 2 {
+		t.Fatalf("overflow observations landed in %v, want +Inf bucket", counts)
+	}
+
+	// Zero and negative durations (a clock stepping backwards mid-span)
+	// must not panic or vanish: they count in the first bucket.
+	h.Reset()
+	h.Observe(0)
+	h.Observe(-1.5)
+	if counts = bucketCounts(h); counts[0] != 2 {
+		t.Fatalf("zero/negative observations landed in %v, want first bucket", counts)
+	}
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if got := h.Sum(); got != -1.5 {
+		t.Fatalf("sum = %v, want -1.5", got)
+	}
+}
+
+// The +Inf exposition line must be cumulative over every bucket
+// including overflow, and _count must agree with it.
+func TestHistogramOverflowExposition(t *testing.T) {
+	resetOn(t)
+	h := bHist
+	h.Reset()
+	for _, v := range []float64{0.05, 10, 11, 1e9} {
+		h.Observe(v)
+	}
+	var b bytes.Buffer
+	h.writeProm(&b)
+	out := b.String()
+	for _, want := range []string{
+		`bound_hist_seconds_bucket{le="10"} 2`,
+		`bound_hist_seconds_bucket{le="+Inf"} 4`,
+		"bound_hist_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Quantile on boundary-heavy data stays monotone and reports the
+// largest finite bound for overflow mass.
+func TestHistogramQuantileOverflow(t *testing.T) {
+	resetOn(t)
+	h := bHist
+	h.Reset()
+	h.Observe(1e6) // all mass in +Inf
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("overflow-only p50 = %v, want largest finite bound 10", q)
+	}
+	if q := h.Quantile(0); q != 10 {
+		t.Fatalf("overflow-only p0 = %v, want 10", q)
+	}
+}
+
+// bHist is the boundary-test histogram, registered once (the registry
+// rejects duplicates).
+var bHist = NewHistogram("bound_hist_seconds", "bucket boundary test histogram", []float64{0.1, 1, 10})
+
+// bucketCounts snapshots a histogram's per-bucket (non-cumulative)
+// counts, overflow last.
+func bucketCounts(h *Histogram) []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
 
 // Handler serves the registry in Prometheus text exposition format.
@@ -15,10 +16,30 @@ func Handler() http.Handler {
 	})
 }
 
-// NewMux returns a mux exposing GET /metrics plus the standard
-// net/http/pprof endpoints under /debug/pprof/. The pprof handlers are
-// wired explicitly so importing this package never pollutes
-// http.DefaultServeMux.
+// extraHandlers are endpoints other packages hang off the -obs server
+// (e.g. internal/trace's /trace). Registered at init; obs itself never
+// imports them, keeping the dependency arrow pointing at obs only.
+var (
+	extraMu       sync.Mutex
+	extraHandlers = make(map[string]http.Handler)
+)
+
+// RegisterHandler mounts h at pattern on every mux NewMux returns from
+// now on. Registering the same pattern twice panics — like a duplicate
+// metric, that is a programming error.
+func RegisterHandler(pattern string, h http.Handler) {
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	if _, dup := extraHandlers[pattern]; dup {
+		panic("obs: duplicate handler " + pattern)
+	}
+	extraHandlers[pattern] = h
+}
+
+// NewMux returns a mux exposing GET /metrics, the standard
+// net/http/pprof endpoints under /debug/pprof/, and every endpoint
+// mounted via RegisterHandler. The pprof handlers are wired explicitly
+// so importing this package never pollutes http.DefaultServeMux.
 func NewMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler())
@@ -27,6 +48,11 @@ func NewMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extraMu.Lock()
+	for pattern, h := range extraHandlers {
+		mux.Handle(pattern, h)
+	}
+	extraMu.Unlock()
 	return mux
 }
 

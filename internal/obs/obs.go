@@ -121,6 +121,21 @@ func snapshot() []Metric {
 	return ms
 }
 
+// CounterValues returns the current value of every registered counter,
+// keyed by series name. The trace layer uses it to attach the counter
+// movement that accompanied a slow epoch to that epoch's exemplar.
+func CounterValues() map[string]int64 {
+	def.mu.Lock()
+	defer def.mu.Unlock()
+	out := make(map[string]int64, len(def.metrics))
+	for _, m := range def.metrics {
+		if c, ok := m.(*Counter); ok {
+			out[c.Name()] = c.Value()
+		}
+	}
+	return out
+}
+
 // ResetAll zeroes every registered metric (tests and benchmarks).
 func ResetAll() {
 	for _, m := range snapshot() {

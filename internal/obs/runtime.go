@@ -21,6 +21,7 @@ var (
 // handler so each scrape sees current values; ReadMemStats is a
 // stop-the-world of microseconds, negligible at scrape frequency.
 func sampleRuntime() {
+	sampleBuildInfo()
 	if !Enabled() {
 		return
 	}

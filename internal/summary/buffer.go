@@ -2,6 +2,7 @@ package summary
 
 import (
 	"repro/internal/packet"
+	"repro/internal/trace"
 )
 
 // Batch couples a full batch of raw headers with its summary-ready state.
@@ -13,6 +14,13 @@ type Batch struct {
 	// exact batch when it requests raw packets, even when several
 	// batches seal within one controller tick.
 	Epoch uint64
+	// FirstNano and SealedNano bound the batch's capture window (Unix
+	// nanoseconds): first header buffered to seal. Both are zero unless
+	// epoch tracing was enabled while the batch filled — the clock reads
+	// live in internal/trace (trace.NowNano), cost one atomic load when
+	// tracing is off, and feed nothing but the capture span, so sealed
+	// batches and summaries are identical either way.
+	FirstNano, SealedNano int64
 }
 
 // Buffer accumulates packet headers at a monitor until a batch of the
@@ -27,6 +35,9 @@ type Batch struct {
 type Buffer struct {
 	batchSize int
 	pending   []packet.Header
+	// firstNano stamps the current batch's first buffered header (0
+	// while tracing is off; see Batch.FirstNano).
+	firstNano int64
 	// seq numbers sealed batches.
 	seq uint64
 	// tick is the controller-tick clock driven by AdvanceEpoch.
@@ -59,6 +70,9 @@ func NewBuffer(batchSize int) *Buffer {
 // and returns the batch (and a true flag); otherwise it returns nil, false.
 func (b *Buffer) Add(h packet.Header) (*Batch, bool) {
 	b.pending = append(b.pending, h)
+	if len(b.pending) == 1 {
+		b.firstNano = trace.NowNano()
+	}
 	if len(b.pending) < b.batchSize {
 		return nil, false
 	}
@@ -78,9 +92,10 @@ func (b *Buffer) Flush() *Batch {
 }
 
 func (b *Buffer) seal() *Batch {
-	batch := &Batch{Headers: b.pending, Epoch: b.seq}
+	batch := &Batch{Headers: b.pending, Epoch: b.seq, FirstNano: b.firstNano, SealedNano: trace.NowNano()}
 	b.seq++
 	b.pending = make([]packet.Header, 0, b.batchSize)
+	b.firstNano = 0
 	return batch
 }
 

@@ -27,6 +27,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/trace"
 )
 
 // Summarization observability: the latency and batch-size profile of
@@ -304,7 +305,11 @@ func (s *Summarizer) Summarize(headers []packet.Header, monitorID int, epoch uin
 	if n < s.cfg.MinBatch || n == 0 {
 		return nil, fmt.Errorf("%w: %d < %d", ErrBatchTooSmall, n, s.cfg.MinBatch)
 	}
-	defer obs.StartSpan(hSummarize).End()
+	// One instrumentation point feeds both the aggregate histogram and,
+	// when tracing, the monitor's staged summarize span (keyed by the
+	// batch sequence number so the controller's timeline can tie it to
+	// the capture window and raw fetches of the same batch).
+	defer trace.StartMonitorSpan(hSummarize, trace.StageSummarize, monitorID, epoch).End()
 	hBatchPackets.Observe(float64(n))
 	sc := linalg.GetScratch()
 	defer linalg.PutScratch(sc)

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// Chrome trace-event export: the -trace-out file format, loadable by
+// Perfetto (ui.perfetto.dev) and chrome://tracing. Each span becomes a
+// complete ("X") event; each process (controller, monitor N) gets a
+// process_name metadata event so the timeline groups lanes by process,
+// with per-monitor threads inside the controller lane showing the
+// parallel poll fan-out.
+
+// traceEvent is one Chrome trace-event object.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object container form, which both loaders
+// accept and which leaves room for metadata next to the event array.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// pid maps a recording process to a Chrome trace pid: controller = 1,
+// monitor N = N+2 (pids must be distinct and non-negative).
+func pid(proc int32) int64 {
+	if proc < 0 {
+		return 1
+	}
+	return int64(proc) + 2
+}
+
+// tid maps a span's monitor to a lane inside its process: controller
+// spans about monitor N land on thread N+2 (so the poll fan-out renders
+// as parallel tracks), everything else on thread 1.
+func tid(monitor int32) int64 {
+	if monitor < 0 {
+		return 1
+	}
+	return int64(monitor) + 2
+}
+
+// WriteTraceEvents writes the traces as a Chrome trace-event JSON
+// object. The traces may be in any order; loaders sort by timestamp.
+func WriteTraceEvents(w io.Writer, traces []*EpochTrace) error {
+	var events []traceEvent
+	procs := make(map[int32]bool)
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		for _, s := range t.Spans {
+			procs[s.Proc] = true
+			events = append(events, traceEvent{
+				Name: s.Stage.String(),
+				Ph:   "X",
+				Ts:   float64(s.Start) / 1e3,
+				Dur:  float64(s.Dur) / 1e3,
+				Pid:  pid(s.Proc),
+				Tid:  tid(s.Monitor),
+				Args: map[string]any{"epoch": t.Epoch, "seq": s.Seq, "monitor": s.Monitor},
+			})
+		}
+	}
+	// Name the processes, in sorted order so the output is stable.
+	ids := make([]int32, 0, len(procs))
+	for p := range procs {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	meta := make([]traceEvent, 0, len(ids))
+	for _, p := range ids {
+		name := "controller"
+		if p >= 0 {
+			name = "monitor " + itoa(int64(p))
+		}
+		meta = append(meta, traceEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pid(p),
+			Tid:  0,
+			Args: map[string]any{"name": name},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: append(meta, events...), DisplayTimeUnit: "ms"})
+}
+
+// WriteTraceFile dumps every retained trace (ring order, oldest first)
+// to path in Chrome trace-event form — the -trace-out implementation
+// shared by the daemon binaries.
+func WriteTraceFile(path string) error {
+	traces := Snapshot(0)
+	// Snapshot is newest-first; emit oldest-first so a reader scanning
+	// the file sees chronological epochs.
+	for i, j := 0, len(traces)-1; i < j; i, j = i+1, j-1 {
+		traces[i], traces[j] = traces[j], traces[i]
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTraceEvents(f, traces); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

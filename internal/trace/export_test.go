@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func exportFixture() []*EpochTrace {
+	return []*EpochTrace{
+		{
+			Epoch: 1,
+			Spans: []SpanRecord{
+				{Stage: StageCapture, Proc: 0, Monitor: 0, Seq: 10, Start: 1_000_000, Dur: 250_000},
+				{Stage: StageShip, Proc: ControllerProc, Monitor: 0, Seq: 1, Start: 1_300_000, Dur: 50_000},
+				{Stage: StageInfer, Proc: ControllerProc, Monitor: ControllerProc, Seq: 1, Start: 1_400_000, Dur: 100_000},
+			},
+		},
+		nil, // a dropped slot must not crash the exporter
+		{
+			Epoch: 2,
+			Spans: []SpanRecord{
+				{Stage: StageCapture, Proc: 1, Monitor: 1, Seq: 11, Start: 2_000_000, Dur: 300_000},
+			},
+		},
+	}
+}
+
+func TestWriteTraceEvents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, exportFixture()); err != nil {
+		t.Fatalf("WriteTraceEvents: %v", err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int64          `json:"pid"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", file.DisplayTimeUnit)
+	}
+
+	var meta, spans int
+	names := map[int64]string{}
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" {
+				t.Fatalf("metadata event named %q", ev.Name)
+			}
+			names[ev.Pid], _ = ev.Args["name"].(string)
+			meta++
+		case "X":
+			spans++
+			if ev.Dur <= 0 || ev.Ts <= 0 {
+				t.Fatalf("X event with ts %g dur %g", ev.Ts, ev.Dur)
+			}
+			if _, ok := ev.Args["epoch"]; !ok {
+				t.Fatalf("X event %q missing epoch arg", ev.Name)
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if spans != 4 {
+		t.Fatalf("exported %d span events, want 4", spans)
+	}
+	// Three recording processes: controller (-1), monitor 0, monitor 1.
+	if meta != 3 || names[1] != "controller" || names[2] != "monitor 0" || names[3] != "monitor 1" {
+		t.Fatalf("process names = %v (%d meta events)", names, meta)
+	}
+
+	// Timestamp unit: Ts is microseconds, span start was 1_000_000 ns.
+	first := file.TraceEvents[meta] // metadata is prepended
+	if first.Ts != 1_000 || first.Dur != 250 {
+		t.Fatalf("first X event ts/dur = %g/%g µs, want 1000/250", first.Ts, first.Dur)
+	}
+	// Controller spans about monitor 0 land in the controller process
+	// (pid 1) on monitor 0's thread (tid 2).
+	ship := file.TraceEvents[meta+1]
+	if ship.Name != "ship" || ship.Pid != 1 || ship.Tid != 2 {
+		t.Fatalf("ship event = %+v, want pid 1 tid 2", ship)
+	}
+}
+
+func TestWriteTraceEventsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, nil); err != nil {
+		t.Fatalf("WriteTraceEvents(nil): %v", err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v", err)
+	}
+}
+
+func TestWriteTraceFile(t *testing.T) {
+	withTracing(t)
+	col.stageEpoch(1, SpanRecord{Stage: StageEpoch, Proc: ControllerProc, Monitor: ControllerProc, Seq: 1, Start: 100, Dur: 10})
+	FinishEpoch(1, 0)
+	col.stageEpoch(2, SpanRecord{Stage: StageEpoch, Proc: ControllerProc, Monitor: ControllerProc, Seq: 2, Start: 200, Dur: 10})
+	FinishEpoch(2, 0)
+
+	path := filepath.Join(t.TempDir(), "epochs.trace.json")
+	if err := WriteTraceFile(path); err != nil {
+		t.Fatalf("WriteTraceFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	// Oldest epoch first among the X events.
+	var epochs []float64
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" {
+			epochs = append(epochs, ev.Args["epoch"].(float64))
+		}
+	}
+	if len(epochs) != 2 || epochs[0] != 1 || epochs[1] != 2 {
+		t.Fatalf("epoch order in file = %v, want [1 2]", epochs)
+	}
+}

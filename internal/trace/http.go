@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// traceResponse is the /trace endpoint's JSON shape.
+type traceResponse struct {
+	// Enabled reports whether tracing is currently recording.
+	Enabled bool `json:"enabled"`
+	// Traces are the most recent finished epochs, newest first.
+	Traces []*EpochTrace `json:"traces"`
+	// Exemplars are the pinned slow epochs (oldest first), each with
+	// the obs counter deltas that accompanied it.
+	Exemplars []*EpochTrace `json:"exemplars,omitempty"`
+}
+
+// Handler serves the trace ring as JSON: the last N finished epoch
+// traces (?n=, default all retained) plus the slow-epoch exemplars.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		resp := traceResponse{
+			Enabled:   Enabled(),
+			Traces:    Snapshot(n),
+			Exemplars: Exemplars(),
+		}
+		if resp.Traces == nil {
+			resp.Traces = []*EpochTrace{}
+		}
+		enc := json.NewEncoder(w)
+		enc.Encode(resp)
+	})
+}
+
+// The endpoint rides the existing -obs server: any binary that links
+// this package (every daemon and the core pipeline does) gets /trace
+// next to /metrics for free.
+func init() {
+	obs.RegisterHandler("/trace", Handler())
+}

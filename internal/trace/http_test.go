@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandlerDisabled(t *testing.T) {
+	SetEnabled(false)
+	Reset()
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var resp struct {
+		Enabled bool              `json:"enabled"`
+		Traces  []json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response is not valid JSON: %v", err)
+	}
+	if resp.Enabled {
+		t.Fatal("enabled = true with tracing off")
+	}
+	if resp.Traces == nil {
+		t.Fatal("traces serialized as null, want []")
+	}
+}
+
+func TestHandlerServesRing(t *testing.T) {
+	withTracing(t)
+	for e := uint64(1); e <= 3; e++ {
+		col.stageEpoch(e, SpanRecord{Stage: StageEpoch, Proc: ControllerProc, Monitor: ControllerProc, Seq: e, Start: int64(e), Dur: 1})
+		FinishEpoch(e, 0)
+	}
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace?n=2", nil))
+	var resp struct {
+		Enabled bool `json:"enabled"`
+		Traces  []struct {
+			Epoch uint64 `json:"epoch"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response is not valid JSON: %v", err)
+	}
+	if !resp.Enabled {
+		t.Fatal("enabled = false with tracing on")
+	}
+	if len(resp.Traces) != 2 || resp.Traces[0].Epoch != 3 || resp.Traces[1].Epoch != 2 {
+		t.Fatalf("traces = %+v, want newest-first epochs 3,2", resp.Traces)
+	}
+}

@@ -1,0 +1,65 @@
+package trace
+
+import "sync"
+
+// Ring is a fixed-size ring of finished epoch traces: the newest
+// RingSize epochs are retained, older ones overwritten. Writers pay one
+// mutex'd pointer store; snapshots copy out under the same lock, so the
+// /trace endpoint never observes a half-written slot
+// (TestRingConcurrentWriters runs this under -race).
+type Ring struct {
+	mu  sync.Mutex
+	buf []*EpochTrace
+	// next is the slot the next Add writes; n counts total adds.
+	next int
+	n    int
+}
+
+// NewRing returns a ring retaining size traces (minimum 1).
+func NewRing(size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring{buf: make([]*EpochTrace, size)}
+}
+
+// Add appends a trace, overwriting the oldest once full.
+func (r *Ring) Add(t *EpochTrace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	r.n++
+	r.mu.Unlock()
+}
+
+// Len returns how many traces are currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < len(r.buf) {
+		return r.n
+	}
+	return len(r.buf)
+}
+
+// Snapshot returns up to n retained traces, newest first (n <= 0 means
+// all retained). The returned slice is a copy; the traces themselves
+// are immutable once finished.
+func (r *Ring) Snapshot(n int) []*EpochTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	have := r.n
+	if have > len(r.buf) {
+		have = len(r.buf)
+	}
+	if n <= 0 || n > have {
+		n = have
+	}
+	out := make([]*EpochTrace, 0, n)
+	for i := 1; i <= n; i++ {
+		// Walk backwards from the most recent write.
+		idx := (r.next - i + len(r.buf)*2) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

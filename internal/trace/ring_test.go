@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingFillAndWraparound(t *testing.T) {
+	r := NewRing(4)
+	if r.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", r.Len())
+	}
+	for e := uint64(1); e <= 6; e++ {
+		r.Add(&EpochTrace{Epoch: e})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len after wrap = %d, want 4", r.Len())
+	}
+	snap := r.Snapshot(0)
+	want := []uint64{6, 5, 4, 3} // newest first; 1 and 2 overwritten
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot size = %d, want %d", len(snap), len(want))
+	}
+	for i, w := range want {
+		if snap[i].Epoch != w {
+			t.Fatalf("snapshot[%d].Epoch = %d, want %d", i, snap[i].Epoch, w)
+		}
+	}
+}
+
+func TestRingSnapshotLimit(t *testing.T) {
+	r := NewRing(8)
+	for e := uint64(1); e <= 5; e++ {
+		r.Add(&EpochTrace{Epoch: e})
+	}
+	snap := r.Snapshot(2)
+	if len(snap) != 2 || snap[0].Epoch != 5 || snap[1].Epoch != 4 {
+		t.Fatalf("Snapshot(2) = %+v, want epochs 5,4", snap)
+	}
+	// Requesting more than retained clamps.
+	if got := r.Snapshot(100); len(got) != 5 {
+		t.Fatalf("Snapshot(100) size = %d, want 5", len(got))
+	}
+}
+
+func TestRingMinimumSize(t *testing.T) {
+	r := NewRing(0)
+	r.Add(&EpochTrace{Epoch: 1})
+	r.Add(&EpochTrace{Epoch: 2})
+	snap := r.Snapshot(0)
+	if len(snap) != 1 || snap[0].Epoch != 2 {
+		t.Fatalf("size-0 ring snapshot = %+v, want just epoch 2", snap)
+	}
+}
+
+// TestRingConcurrentWriters hammers a small ring from several writers
+// while readers snapshot, under -race in CI: every observed slot must be
+// a fully-formed trace (never nil mid-overwrite, never torn).
+func TestRingConcurrentWriters(t *testing.T) {
+	r := NewRing(8)
+	const writers, perWriter = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				e := uint64(w*perWriter + i)
+				r.Add(&EpochTrace{Epoch: e, Spans: []SpanRecord{
+					{Stage: StageEpoch, Proc: ControllerProc, Monitor: ControllerProc, Seq: e, Dur: 1},
+				}})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		for _, tr := range r.Snapshot(0) {
+			if tr == nil {
+				t.Fatal("snapshot observed a nil slot")
+			}
+			if len(tr.Spans) != 1 || tr.Spans[0].Seq != tr.Epoch {
+				t.Fatalf("torn trace: %+v", tr)
+			}
+		}
+	}
+	if r.Len() != 8 {
+		t.Fatalf("final Len = %d, want 8", r.Len())
+	}
+}

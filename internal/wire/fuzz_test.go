@@ -5,6 +5,8 @@ import (
 	"math"
 	"runtime"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // Native Go fuzzing over the wire decode surface: ReadFrame (the only
@@ -34,6 +36,14 @@ func FuzzReadFrame(f *testing.F) {
 	seedFrame(f, MsgFinerRequest, EncodeFinerRequest(6, 400))
 	seedFrame(f, MsgHello, EncodeHello(12))
 	seedFrame(f, MsgAlert, []byte("ALERT syn_flood sid=10002"))
+	// A summary frame carrying a trace-context trailer: with tracing on,
+	// monitors append the block after the summary bytes (see
+	// internal/trace.Context), so framed payloads with a "JT" trailer
+	// are part of the production input space.
+	tctx := trace.Context{MonitorID: 2, SentUnixNano: 1_000, Spans: []trace.SpanRecord{
+		{Stage: trace.StageCapture, Seq: 7, Start: 500, Dur: 50},
+	}}
+	seedFrame(f, MsgSummary, tctx.AppendWire([]byte("summary-bytes")))
 	// A header that promises far more than it delivers.
 	f.Add([]byte{0x00, 0x10, 0x00, 0x00, byte(MsgSummary), 1, 2, 3})
 	// A header past MaxFrameSize.

@@ -27,7 +27,11 @@ go build ./...
 go run ./cmd/jaal-vet ./...
 
 # The determinism invariants first: these fail fast and carry the most
-# signal when instrumentation touches a hot path.
-go test -race -run 'TestPipelineParallelDeterminism|TestPipelineObsDeterminism' ./internal/core/
+# signal when instrumentation touches a hot path. The trace golden test
+# locks the epoch-trace topology (which spans each stage emits, per
+# process and monitor, timestamps scrubbed) against
+# internal/core/testdata/trace_topology.golden; regenerate with
+# -update-trace-golden after an intentional instrumentation change.
+go test -race -run 'TestPipelineParallelDeterminism|TestPipelineObsDeterminism|TestPipelineTraceDeterminism|TestPipelineTraceGolden' ./internal/core/
 
 go test -race ./...

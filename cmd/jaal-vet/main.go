@@ -5,26 +5,33 @@
 //
 // Usage:
 //
-//	jaal-vet [-checks detrand,mapiter,...] [-list] [packages]
+//	jaal-vet [-checks detrand,mapiter,...] [-list] [-summary] [packages]
 //
 // Packages default to ./..., resolved in the current module. Findings
 // print one per line as file:line:col: analyzer: message. A finding is
 // silenced — after review, with a reason — by an inline
 // //jaalvet:ignore comment; see internal/analysis and DESIGN.md
-// ("Static analysis").
+// ("Static analysis"). A suppression that no longer silences anything
+// is reported as a warning (stale suppressions hide nothing but rot
+// into misdocumentation); -summary prints per-analyzer finding and
+// suppression counts.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/encdec"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/linearscan"
 	"repro/internal/analysis/lockcopy"
+	"repro/internal/analysis/lockheld"
 	"repro/internal/analysis/mapiter"
 	"repro/internal/analysis/obshot"
 	"repro/internal/analysis/spanend"
@@ -36,8 +43,11 @@ import (
 var all = []*analysis.Analyzer{
 	atomicmix.Analyzer,
 	detrand.Analyzer,
+	encdec.Analyzer,
+	hotalloc.Analyzer,
 	linearscan.Analyzer,
 	lockcopy.Analyzer,
+	lockheld.Analyzer,
 	mapiter.Analyzer,
 	obshot.Analyzer,
 	spanend.Analyzer,
@@ -48,11 +58,12 @@ var all = []*analysis.Analyzer{
 func main() {
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
+	summary := flag.Bool("summary", false, "print per-analyzer finding/suppression counts to stderr")
 	flag.Parse()
 
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -84,16 +95,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jaal-vet:", err)
 		os.Exit(2)
 	}
-	findings, err := analysis.Run(pkgs, analyzers)
+	res, err := analysis.RunDetailed(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jaal-vet:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
+	for _, f := range res.Findings {
 		fmt.Println(f)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "jaal-vet: %d finding(s)\n", len(findings))
+	// Stale suppressions warn rather than fail: the code is clean, but
+	// the comment now documents a finding that no longer exists.
+	for _, f := range res.Stale {
+		fmt.Fprintf(os.Stderr, "jaal-vet: warning: %s\n", f)
+	}
+	if *summary {
+		names := make([]string, 0, len(res.Stats))
+		for name := range res.Stats {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := res.Stats[name]
+			fmt.Fprintf(os.Stderr, "jaal-vet: %-12s %d finding(s), %d suppressed\n",
+				name, st.Findings, st.Suppressed)
+		}
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "jaal-vet: %d finding(s)\n", len(res.Findings))
 		os.Exit(1)
 	}
 }

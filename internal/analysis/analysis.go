@@ -51,6 +51,14 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds the type-checker's fact tables for Files.
 	TypesInfo *types.Info
+	// Shared is a per-analyzer scratch map that persists across the
+	// packages of one Run, letting an analyzer carry facts between
+	// packages (e.g. hotalloc's reachability marks). Packages are
+	// visited importers-first — a package runs before anything it
+	// imports — so facts flow in call direction: by the time a callee's
+	// package is analyzed, every caller package already deposited its
+	// facts. The map is nil-safe to read but only non-nil inside Run.
+	Shared map[string]any
 
 	diagnostics []Diagnostic
 }

@@ -1,0 +1,475 @@
+// Package cfg builds per-function control-flow graphs over go/ast, the
+// foundation of the flow-sensitive jaal-vet analyzers (lockheld and
+// friends). Like the rest of internal/analysis it is stdlib-only and
+// mirrors the shape of golang.org/x/tools/go/cfg closely enough that an
+// analyzer ports over if the real module ever becomes a dependency.
+//
+// A Graph is a set of basic blocks: maximal straight-line statement
+// runs with control entering at the top and leaving at the bottom.
+// Control statements (if, for, range, switch, select) appear as the
+// last statement of the block that evaluates their header — only the
+// header expression executes there; their bodies live in successor
+// blocks. Exec reports which parts of a statement execute inside its
+// own block, so dataflow transfer functions never walk into a nested
+// region that belongs to another block.
+//
+// Placement invariant (pinned by the golden and fuzz tests): every
+// statement of the function body except *ast.BlockStmt, *ast.CaseClause,
+// *ast.CommClause and *ast.LabeledStmt is placed in exactly one block.
+// Statements after a return/branch land in a fresh unreachable block
+// (no predecessors) rather than being dropped, so the invariant holds
+// for dead code too.
+//
+// Flow modelled: if/else chains, for (cond and infinite), range,
+// switch/type switch with fallthrough, select (each comm clause a
+// successor), labeled and bare break/continue, goto (forward and
+// backward), return. Not modelled: panic/recover unwinding, and defer
+// bodies run at their lexical position (a DeferStmt is an ordinary
+// statement of its block; the deferred call's execution at function
+// exit is a per-analyzer concern).
+package cfg
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in Graph.Blocks, assigned in
+	// construction order (entry first); dumps and worklists key on it.
+	Index int
+	// Stmts are the statements placed in this block, in execution
+	// order. A control statement is last and contributes only its
+	// header expression here (see Exec).
+	Stmts []ast.Stmt
+	// Succs are the possible control transfers out of the block, in a
+	// deterministic order (then before else, case bodies in source
+	// order, loop body before loop exit).
+	Succs []*Block
+	// Preds are the reverse edges, filled once construction finishes.
+	Preds []*Block
+}
+
+// Graph is one function's control-flow graph.
+type Graph struct {
+	// Blocks holds every block, entry at index 0, exit last.
+	Blocks []*Block
+	// Entry is the block control enters at.
+	Entry *Block
+	// Exit is the virtual block every return (and the fall-off-the-end
+	// path) edges to. It holds no statements.
+	Exit *Block
+}
+
+// New builds the control-flow graph of one function body. A nil body
+// (declaration without implementation) yields a graph with only entry
+// and exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{labels: map[string]*labelTarget{}}
+	entry := b.newBlock()
+	b.cur = entry
+	exit := b.newBlock() // created early so returns can edge to it; re-indexed below
+	b.exit = exit
+	if body != nil {
+		b.stmts(body.List)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, exit)
+	}
+	b.patchGotos()
+	// Move the exit block to the end of the slice, where readers (and
+	// the golden dumps) expect it.
+	blocks := make([]*Block, 0, len(b.blocks))
+	for _, blk := range b.blocks {
+		if blk != exit {
+			blocks = append(blocks, blk)
+		}
+	}
+	blocks = append(blocks, exit)
+	for i, blk := range blocks {
+		blk.Index = i
+	}
+	g := &Graph{Blocks: blocks, Entry: entry, Exit: exit}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return g
+}
+
+// Exec returns the nodes of s that execute inside s's own block. For a
+// leaf statement that is the statement itself; for a control statement
+// only its header expression (an if's condition, a switch's tag, a
+// range's operand) — inits, bodies and clause expressions live in
+// other blocks or are placed as separate statements.
+func Exec(s ast.Stmt) []ast.Node {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return []ast.Node{s.Cond}
+	case *ast.ForStmt:
+		if s.Cond == nil {
+			return nil
+		}
+		return []ast.Node{s.Cond}
+	case *ast.RangeStmt:
+		return []ast.Node{s.X}
+	case *ast.SwitchStmt:
+		if s.Tag == nil {
+			return nil
+		}
+		return []ast.Node{s.Tag}
+	case *ast.TypeSwitchStmt:
+		return []ast.Node{s.Assign}
+	case *ast.SelectStmt:
+		return nil
+	default:
+		return []ast.Node{s}
+	}
+}
+
+// labelTarget records where a label points for goto resolution, plus
+// the break/continue targets when the label names a loop or switch.
+type labelTarget struct {
+	block *Block // statement the label marks (goto target)
+	brk   *Block // labeled break target, nil until the loop is entered
+	cont  *Block // labeled continue target (loops only)
+}
+
+// loopCtx is one enclosing breakable/continuable region.
+type loopCtx struct {
+	label string // "" for unlabeled
+	brk   *Block
+	cont  *Block // nil for switch/select (not continuable)
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	blocks []*Block
+	cur    *Block // nil while the current point is unreachable-from-above
+	exit   *Block
+	loops  []loopCtx
+	labels map[string]*labelTarget
+	gotos  []pendingGoto
+	// pendingLabel carries a just-seen label into the loop/switch it
+	// marks, so labeled break/continue resolve to the right region.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// ensure returns the current block, creating a fresh unreachable block
+// when control cannot reach this point — dead statements still need a
+// home for the placement invariant.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) place(s ast.Stmt) {
+	blk := b.ensure()
+	blk.Stmts = append(blk.Stmts, s)
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// findLoop resolves a break/continue target. label is "" for the bare
+// form (innermost region); continue skips non-continuable regions.
+func (b *builder) findLoop(label string, needCont bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := &b.loops[i]
+		if needCont && lc.cont == nil {
+			continue
+		}
+		if label == "" || lc.label == label {
+			return lc
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		// Start a fresh block at the label so gotos have a target that
+		// begins with the labeled statement.
+		target := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, target)
+		}
+		b.cur = target
+		lt := &labelTarget{block: target}
+		b.labels[s.Label.Name] = lt
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.place(s)
+		b.edge(b.cur, b.exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.place(s)
+		switch s.Tok.String() {
+		case "break":
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if lc := b.findLoop(label, false); lc != nil {
+				b.edge(b.cur, lc.brk)
+			}
+		case "continue":
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if lc := b.findLoop(label, true); lc != nil {
+				b.edge(b.cur, lc.cont)
+			}
+		case "goto":
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+		case "fallthrough":
+			// Resolved by the switch builder, which knows the next
+			// clause's block; recorded here so the edge can be added.
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: fallthroughLabel})
+		}
+		b.cur = nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.place(s) // header: evaluates s.Cond
+		cond := b.cur
+		join := b.newBlock()
+
+		thenEntry := b.newBlock()
+		b.edge(cond, thenEntry)
+		b.cur = thenEntry
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+
+		if s.Else != nil {
+			elseEntry := b.newBlock()
+			b.edge(cond, elseEntry)
+			b.cur = elseEntry
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		header := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, header)
+		}
+		header.Stmts = append(header.Stmts, s) // header: evaluates s.Cond
+		join := b.newBlock()
+
+		// The continue target is the post block when one exists, else
+		// the header.
+		var post *Block
+		cont := header
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.attachLabel(label, join, cont)
+
+		body := b.newBlock()
+		b.edge(header, body)
+		if s.Cond != nil {
+			b.edge(header, join)
+		}
+		b.loops = append(b.loops, loopCtx{label: label, brk: join, cont: cont})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		if b.cur != nil {
+			b.edge(b.cur, cont)
+		}
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, header)
+		}
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		header := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, header)
+		}
+		header.Stmts = append(header.Stmts, s) // header: evaluates s.X
+		join := b.newBlock()
+		b.attachLabel(label, join, header)
+		body := b.newBlock()
+		b.edge(header, body)
+		b.edge(header, join)
+		b.loops = append(b.loops, loopCtx{label: label, brk: join, cont: header})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		if b.cur != nil {
+			b.edge(b.cur, header)
+		}
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s, s.Init, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s, s.Init, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.place(s) // header: the blocking choice happens here
+		header := b.cur
+		join := b.newBlock()
+		b.attachLabel(label, join, nil)
+		b.loops = append(b.loops, loopCtx{label: label, brk: join})
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			clause := b.newBlock()
+			b.edge(header, clause)
+			b.cur = clause
+			if comm.Comm != nil {
+				// The chosen communication executes first in its clause.
+				b.stmt(comm.Comm)
+			}
+			b.stmts(comm.Body)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		if len(s.Body.List) == 0 {
+			// `select {}` blocks forever: join is unreachable.
+			b.cur = nil
+		}
+		b.cur = join
+
+	default:
+		// Leaf statements: assign, expr, send, inc/dec, decl, go,
+		// defer, empty.
+		b.place(s)
+	}
+}
+
+// fallthroughLabel is the reserved pending-goto label the switch
+// builder patches to the next clause's body block.
+const fallthroughLabel = "\x00fallthrough"
+
+// switchStmt builds expression and type switches: header evaluates the
+// tag, each case body is a successor (default included), and a switch
+// without a default also edges straight to the join.
+func (b *builder) switchStmt(s ast.Stmt, init ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	b.place(s) // header: evaluates the tag / type-switch assign
+	header := b.cur
+	join := b.newBlock()
+	b.attachLabel(label, join, nil)
+
+	clauses := make([]*Block, len(body.List))
+	for i := range body.List {
+		clauses[i] = b.newBlock()
+		b.edge(header, clauses[i])
+	}
+	hasDefault := false
+	b.loops = append(b.loops, loopCtx{label: label, brk: join})
+	for i, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		gotoMark := len(b.gotos)
+		b.cur = clauses[i]
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+		// Patch this clause's fallthroughs to the next clause body.
+		for j := gotoMark; j < len(b.gotos); j++ {
+			if b.gotos[j].label == fallthroughLabel {
+				if i+1 < len(clauses) {
+					b.edge(b.gotos[j].from, clauses[i+1])
+				}
+				b.gotos[j] = pendingGoto{} // consumed
+			}
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if !hasDefault {
+		b.edge(header, join)
+	}
+	b.cur = join
+}
+
+// takeLabel consumes the pending label set by an enclosing LabeledStmt.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// attachLabel records the break/continue targets for a labeled region.
+func (b *builder) attachLabel(label string, brk, cont *Block) {
+	if label == "" {
+		return
+	}
+	if lt := b.labels[label]; lt != nil {
+		lt.brk = brk
+		lt.cont = cont
+	}
+}
+
+// patchGotos resolves recorded goto edges now that every label's block
+// exists. A goto to an unknown label (ill-formed source) is dropped —
+// the type checker rejects it anyway.
+func (b *builder) patchGotos() {
+	for _, g := range b.gotos {
+		if g.from == nil || g.label == fallthroughLabel {
+			continue
+		}
+		if lt := b.labels[g.label]; lt != nil {
+			b.edge(g.from, lt.block)
+		}
+	}
+}

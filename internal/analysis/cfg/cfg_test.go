@@ -1,0 +1,184 @@
+package cfg
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-cfg-golden", false, "rewrite testdata/funcs.golden from the current builder output")
+
+// TestGoldenDumps pins the block/edge structure of every fixture
+// function against testdata/funcs.golden. Regenerate with
+// -update-cfg-golden after an intentional builder change.
+func TestGoldenDumps(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "funcs.go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		g := New(fd.Body)
+		fmt.Fprintf(&sb, "func %s\n%s\n", fd.Name.Name, g.Dump(fset))
+	}
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", "funcs.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-cfg-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CFG dumps drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// placeable reports whether the invariant requires s to land in exactly
+// one block: everything except the pure containers (blocks, clauses)
+// and the label wrapper, whose inner statement is placed instead.
+func placeable(s ast.Stmt) bool {
+	switch s.(type) {
+	case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause, *ast.LabeledStmt:
+		return false
+	}
+	return true
+}
+
+// checkInvariants asserts the placement invariant and basic graph
+// sanity for one function body; shared by the unit test and the fuzz
+// target.
+func checkInvariants(t *testing.T, fset *token.FileSet, name string, body *ast.BlockStmt) {
+	t.Helper()
+	g := New(body)
+
+	if g.Entry == nil || g.Exit == nil || len(g.Blocks) < 2 {
+		t.Fatalf("%s: degenerate graph", name)
+	}
+	if g.Blocks[0] != g.Entry || g.Blocks[len(g.Blocks)-1] != g.Exit {
+		t.Errorf("%s: entry/exit not at slice boundaries", name)
+	}
+	if len(g.Exit.Stmts) != 0 || len(g.Exit.Succs) != 0 {
+		t.Errorf("%s: exit block must be empty and terminal", name)
+	}
+
+	// Every placed statement appears exactly once, and indices match
+	// slice positions.
+	seen := map[ast.Stmt]int{}
+	for i, blk := range g.Blocks {
+		if blk.Index != i {
+			t.Errorf("%s: block %d carries index %d", name, i, blk.Index)
+		}
+		for _, s := range blk.Stmts {
+			seen[s]++
+		}
+		for _, succ := range blk.Succs {
+			if succ.Index < 0 || succ.Index >= len(g.Blocks) || g.Blocks[succ.Index] != succ {
+				t.Errorf("%s: b%d has a successor outside the graph", name, i)
+			}
+		}
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Errorf("%s: statement at %v placed %d times", name, fset.Position(s.Pos()), n)
+		}
+	}
+	// Walk the body: every placeable statement must have been placed —
+	// but not statements inside nested function literals (which get
+	// their own graphs) and not a type switch's header assign, which
+	// executes as part of the TypeSwitchStmt itself (see Exec).
+	headerAssigns := map[ast.Stmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ts, ok := n.(*ast.TypeSwitchStmt); ok {
+			headerAssigns[ts.Assign] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok && placeable(s) && !headerAssigns[s] {
+			if seen[s] != 1 {
+				t.Errorf("%s: statement at %v not placed in any block", name, fset.Position(s.Pos()))
+			}
+		}
+		return true
+	})
+
+	// Preds must mirror Succs exactly.
+	for _, blk := range g.Blocks {
+		for _, succ := range blk.Succs {
+			found := 0
+			for _, p := range succ.Preds {
+				if p == blk {
+					found++
+				}
+			}
+			if found == 0 {
+				t.Errorf("%s: edge b%d->b%d missing from Preds", name, blk.Index, succ.Index)
+			}
+		}
+	}
+}
+
+func TestInvariantsOnFixtures(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "funcs.go"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			checkInvariants(t, fset, fd.Name.Name, fd.Body)
+		}
+	}
+}
+
+// TestExecPrunesNestedRegions asserts Exec never yields a node that
+// belongs to another block (an if body, a loop body).
+func TestExecPrunesNestedRegions(t *testing.T) {
+	src := `package p
+func f(n int, ch chan int) {
+	if n > 0 { n-- }
+	for i := 0; i < n; i++ { n += i }
+	for _, v := range []int{1} { n += v }
+	switch n { case 1: n = 0 }
+	select { case <-ch: }
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Decls[0].(*ast.FuncDecl).Body
+	g := New(body)
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Stmts {
+			for _, n := range Exec(s) {
+				ast.Inspect(n, func(inner ast.Node) bool {
+					if _, ok := inner.(*ast.BlockStmt); ok {
+						t.Errorf("Exec(%T) leaked a nested block at %v", s, fset.Position(inner.Pos()))
+					}
+					return true
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dump renders the graph in the compact textual form the golden tests
+// pin down: one line per block with its statements (control statements
+// shown as their header only) and successor indices.
+//
+//	b0: x := 0; for x < n -> b1 b3
+//	b1: x++ -> b0
+//	b3(exit): ->
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		name := fmt.Sprintf("b%d", blk.Index)
+		switch blk {
+		case g.Exit:
+			name += "(exit)"
+		case g.Entry:
+			name += "(entry)"
+		}
+		var stmts []string
+		for _, s := range blk.Stmts {
+			stmts = append(stmts, renderStmt(fset, s))
+		}
+		var succs []string
+		for _, s := range blk.Succs {
+			succs = append(succs, fmt.Sprintf("b%d", s.Index))
+		}
+		fmt.Fprintf(&sb, "%s: %s -> %s\n", name, strings.Join(stmts, "; "), strings.Join(succs, " "))
+	}
+	return sb.String()
+}
+
+// renderStmt prints a statement for the dump: leaf statements in full
+// (single line), control statements as a header sketch.
+func renderStmt(fset *token.FileSet, s ast.Stmt) string {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return "if " + renderNode(fset, s.Cond)
+	case *ast.ForStmt:
+		if s.Cond == nil {
+			return "for"
+		}
+		return "for " + renderNode(fset, s.Cond)
+	case *ast.RangeStmt:
+		return "range " + renderNode(fset, s.X)
+	case *ast.SwitchStmt:
+		if s.Tag == nil {
+			return "switch"
+		}
+		return "switch " + renderNode(fset, s.Tag)
+	case *ast.TypeSwitchStmt:
+		return "switch " + renderNode(fset, s.Assign)
+	case *ast.SelectStmt:
+		return "select"
+	default:
+		return renderNode(fset, s)
+	}
+}
+
+// renderNode prints any node on one line.
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	// Collapse any multi-line rendering (composite literals etc.).
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}

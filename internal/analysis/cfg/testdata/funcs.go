@@ -1,0 +1,126 @@
+// Fixture functions for the CFG golden dumps: each exercises one shape
+// the builder must model (testdata is invisible to the go tool, so this
+// file is parsed, never compiled).
+package fixtures
+
+func straight(a, b int) int {
+	c := a + b
+	c *= 2
+	return c
+}
+
+func ifElse(n int) int {
+	if n > 0 {
+		n--
+	} else {
+		n++
+	}
+	return n
+}
+
+func ifInit(m map[string]int) int {
+	if v, ok := m["k"]; ok {
+		return v
+	}
+	return 0
+}
+
+func loop(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+func infinite(ch chan int) {
+	for {
+		v := <-ch
+		if v == 0 {
+			break
+		}
+	}
+}
+
+func ranges(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		total += x
+	}
+	return total
+}
+
+func labeledBreak(grid [][]int) int {
+outer:
+	for i := range grid {
+		for j := range grid[i] {
+			if grid[i][j] == 0 {
+				break outer
+			}
+			if grid[i][j] < 0 {
+				continue outer
+			}
+		}
+	}
+	return 0
+}
+
+func switches(t byte) string {
+	switch t {
+	case 1:
+		return "one"
+	case 2:
+		fallthrough
+	case 3:
+		return "few"
+	default:
+		return "many"
+	}
+}
+
+func typeSwitch(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case string:
+		return len(x)
+	}
+	return 0
+}
+
+func selects(in, out chan int, done chan struct{}) {
+	for {
+		select {
+		case v := <-in:
+			out <- v
+		case <-done:
+			return
+		default:
+			return
+		}
+	}
+}
+
+func deferred(mu interface{ Lock() }, f func()) {
+	mu.Lock()
+	defer f()
+	f()
+}
+
+func gotos(n int) int {
+again:
+	n--
+	if n > 0 {
+		goto again
+	}
+	return n
+}
+
+func deadCode(n int) int {
+	return n
+	n++ // unreachable: still placed, in a predecessor-less block
+	return n
+}

@@ -1,0 +1,102 @@
+// Package dataflow is a small forward dataflow engine over the basic
+// blocks of internal/analysis/cfg: classic gen/kill iteration to a
+// fixpoint via a worklist. An analyzer describes its lattice through
+// the Problem interface — the entry fact, a monotone per-block transfer
+// function, the join of predecessor facts, and fact equality — and
+// Forward returns each block's IN fact, from which the analyzer replays
+// transfers statement by statement to report at precise positions.
+//
+// The engine is deliberately minimal: facts are opaque values, blocks
+// are processed in index order (deterministic output for deterministic
+// input), and termination relies on the analyzer's lattice having
+// finite height — true for the set-of-locks and similar facts jaal-vet
+// computes, where every fact is drawn from the function's finite
+// syntax. A safety valve caps iteration at maxPasses sweeps so a
+// non-monotone transfer degrades to a truncated (conservative for
+// may-analyses) result instead of a hang.
+package dataflow
+
+import (
+	"repro/internal/analysis/cfg"
+)
+
+// Problem describes one forward dataflow problem.
+type Problem[F any] interface {
+	// Entry is the fact at function entry.
+	Entry() F
+	// Transfer computes the fact after executing block b with fact in.
+	// It must not mutate in.
+	Transfer(b *cfg.Block, in F) F
+	// Join merges two facts flowing into the same block (set union for
+	// may-analyses, intersection for must-analyses). It must not mutate
+	// its arguments.
+	Join(a, b F) F
+	// Equal reports whether two facts are the same, ending iteration.
+	Equal(a, b F) bool
+}
+
+// maxPasses bounds full sweeps over the graph. Lock-set style lattices
+// stabilize in O(loop nesting depth) sweeps; anything still moving
+// after this many is a broken transfer function, not a real program.
+const maxPasses = 64
+
+// Forward solves p over g and returns the IN fact of every block.
+// Blocks unreachable from entry keep the entry fact (their IN joins
+// nothing), which over-approximates safely for may-analyses.
+func Forward[F any](g *cfg.Graph, p Problem[F]) map[*cfg.Block]F {
+	n := len(g.Blocks)
+	in := make([]F, n)
+	out := make([]F, n)
+	hasOut := make([]bool, n)
+	for i := range in {
+		in[i] = p.Entry()
+	}
+
+	dirty := make([]bool, n)
+	for i := range dirty {
+		dirty[i] = true
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for i, b := range g.Blocks {
+			if !dirty[i] {
+				continue
+			}
+			dirty[i] = false
+			// IN = join over predecessor OUTs (entry fact when none).
+			f := p.Entry()
+			joined := false
+			for _, pred := range b.Preds {
+				if !hasOut[pred.Index] {
+					continue
+				}
+				if !joined {
+					f = out[pred.Index]
+					joined = true
+				} else {
+					f = p.Join(f, out[pred.Index])
+				}
+			}
+			in[i] = f
+			o := p.Transfer(b, f)
+			if hasOut[i] && p.Equal(o, out[i]) {
+				continue
+			}
+			out[i] = o
+			hasOut[i] = true
+			changed = true
+			for _, s := range b.Succs {
+				dirty[s.Index] = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	res := make(map[*cfg.Block]F, n)
+	for i, b := range g.Blocks {
+		res[b] = in[i]
+	}
+	return res
+}

@@ -1,0 +1,245 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+// heldProblem is a miniature of what lockheld does: a may-analysis over
+// sets of strings. Calling lock("x") gens x, unlock("x") kills x; the
+// join is set union. Facts are immutable maps.
+type heldProblem struct{}
+
+type fact map[string]bool
+
+func (heldProblem) Entry() fact { return fact{} }
+
+func (heldProblem) Transfer(b *cfg.Block, in fact) fact {
+	out := in
+	mutate := func(name string, add bool) {
+		// Copy-on-write so shared facts are never aliased.
+		next := make(fact, len(out)+1)
+		for k := range out {
+			next[k] = true
+		}
+		if add {
+			next[name] = true
+		} else {
+			delete(next, name)
+		}
+		out = next
+	}
+	for _, s := range b.Stmts {
+		for _, n := range cfg.Exec(s) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := call.Fun.(*ast.Ident)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok {
+					return true
+				}
+				name := strings.Trim(lit.Value, `"`)
+				switch fn.Name {
+				case "lock":
+					mutate(name, true)
+				case "unlock":
+					mutate(name, false)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func (heldProblem) Join(a, b fact) fact {
+	u := make(fact, len(a)+len(b))
+	for k := range a {
+		u[k] = true
+	}
+	for k := range b {
+		u[k] = true
+	}
+	return u
+}
+
+func (heldProblem) Equal(a, b fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func keys(f fact) string {
+	var ks []string
+	for k := range f {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ",")
+}
+
+// solve parses src as a single function body, runs heldProblem, and
+// returns the IN fact of the block containing the marker statement
+// probe() — identified by scanning block statements.
+func solve(t *testing.T, src string) (g *cfg.Graph, in map[*cfg.Block]fact) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", "package p\nfunc f() {\n"+src+"\n}", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body := file.Decls[0].(*ast.FuncDecl).Body
+	g = cfg.New(body)
+	return g, Forward[fact](g, heldProblem{})
+}
+
+// inAt finds the block whose statements include a call to probe() and
+// returns its IN fact.
+func inAt(t *testing.T, g *cfg.Graph, in map[*cfg.Block]fact) fact {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			found := false
+			for _, n := range cfg.Exec(s) {
+				ast.Inspect(n, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probe" {
+							found = true
+						}
+					}
+					return true
+				})
+			}
+			if found {
+				return in[b]
+			}
+		}
+	}
+	t.Fatal("no probe() in fixture")
+	return nil
+}
+
+func TestFactFlowsAcrossBlocks(t *testing.T) {
+	// Forward returns IN facts per block, so the probe must sit in a
+	// later block than the lock to observe it.
+	g, in := solve(t, `
+		lock("a")
+		if cond() {
+			work()
+		}
+		probe()
+	`)
+	if got := keys(inAt(t, g, in)); got != "a" {
+		t.Errorf("cross-block flow: IN at probe = %q, want %q", got, "a")
+	}
+}
+
+func TestBranchJoinIsUnion(t *testing.T) {
+	// One branch locks a, the other locks b; a may-analysis must see
+	// both at the join.
+	g, in := solve(t, `
+		if cond() {
+			lock("a")
+		} else {
+			lock("b")
+		}
+		probe()
+	`)
+	if got := keys(inAt(t, g, in)); got != "a,b" {
+		t.Errorf("branch join: IN at probe = %q, want %q", got, "a,b")
+	}
+}
+
+func TestBalancedBranchesLeaveNothing(t *testing.T) {
+	g, in := solve(t, `
+		if cond() {
+			lock("a")
+			unlock("a")
+		}
+		probe()
+	`)
+	if got := keys(inAt(t, g, in)); got != "" {
+		t.Errorf("balanced branch: IN at probe = %q, want empty", got)
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	// The lock acquired inside the loop body flows around the back edge
+	// into the header, so the header's IN must include it after the
+	// first iteration — a fact only a fixpoint (not a single sweep in
+	// block order) produces when the back edge points at an
+	// earlier-indexed block.
+	g, in := solve(t, `
+		for cond() {
+			probe()
+			lock("a")
+		}
+	`)
+	if got := keys(inAt(t, g, in)); got != "a" {
+		t.Errorf("loop fixpoint: IN at probe = %q, want %q", got, "a")
+	}
+}
+
+func TestLoopWithReleaseConverges(t *testing.T) {
+	// lock/unlock balanced inside the body: nothing escapes the loop.
+	g, in := solve(t, `
+		for cond() {
+			lock("a")
+			work()
+			unlock("a")
+		}
+		probe()
+	`)
+	if got := keys(inAt(t, g, in)); got != "" {
+		t.Errorf("balanced loop: IN at probe = %q, want empty", got)
+	}
+}
+
+func TestUnreachableKeepsEntryFact(t *testing.T) {
+	g, in := solve(t, `
+		lock("a")
+		return
+		probe()
+	`)
+	if got := keys(inAt(t, g, in)); got != "" {
+		t.Errorf("unreachable block: IN at probe = %q, want entry fact (empty)", got)
+	}
+}
+
+func TestAllBlocksHaveFacts(t *testing.T) {
+	g, in := solve(t, `
+		lock("a")
+		for cond() {
+			if other() {
+				unlock("a")
+			}
+		}
+		probe()
+	`)
+	if len(in) != len(g.Blocks) {
+		t.Fatalf("Forward returned %d facts for %d blocks", len(in), len(g.Blocks))
+	}
+	// The probe sits after a loop that may or may not have released: a
+	// may-analysis keeps "a".
+	if got := keys(inAt(t, g, in)); got != "a" {
+		t.Errorf("maybe-released: IN at probe = %q, want %q (may-analysis)", got, "a")
+	}
+}

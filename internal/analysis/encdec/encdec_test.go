@@ -1,0 +1,12 @@
+package encdec_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/encdec"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, encdec.Analyzer, "testdata", "wire", "other")
+}

@@ -1,0 +1,15 @@
+// A package outside the codec set (wire, summary, packet, trace): the
+// analyzer must stay silent even on an asymmetric pair.
+package other
+
+import "encoding/binary"
+
+func EncodeThing(v uint32) []byte {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint32(buf[0:], v)
+	return buf
+}
+
+func DecodeThing(p []byte) uint64 {
+	return binary.BigEndian.Uint64(p[0:])
+}

@@ -1,0 +1,264 @@
+// Fixture codecs for the encdec analyzer: each Encode/Decode pair
+// exercises one rule. The shapes mirror internal/wire, internal/summary
+// and internal/trace.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ---- symmetric pair, decoder reads out of order: no findings ----
+
+func EncodeGood(id int, epoch uint64, pending int) []byte {
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint32(buf[0:], uint32(id))
+	binary.BigEndian.PutUint64(buf[4:], epoch)
+	binary.BigEndian.PutUint32(buf[12:], uint32(pending))
+	return buf
+}
+
+func DecodeGood(p []byte) (int, uint64, int, error) {
+	if len(p) != 16 {
+		return 0, 0, 0, errShort
+	}
+	pending := int(binary.BigEndian.Uint32(p[12:])) // out of order: fine
+	id := int(binary.BigEndian.Uint32(p[0:]))
+	epoch := binary.BigEndian.Uint64(p[4:])
+	return id, epoch, pending, nil
+}
+
+// ---- reserved byte written but never read (the trace.AppendWire
+// flags-byte bug, reproduced) ----
+
+func AppendHeader(dst []byte, id uint32, n uint16) []byte {
+	dst = append(dst, 'J', 'T', 1, 0) // want `AppendHeader writes 1 bytes at offset 3 that ParseHeader never reads`
+	dst = binary.BigEndian.AppendUint32(dst, id)
+	dst = binary.BigEndian.AppendUint16(dst, n)
+	return dst
+}
+
+func ParseHeader(p []byte) (uint32, uint16, error) {
+	if len(p) < 10 {
+		return 0, 0, errShort
+	}
+	if p[0] != 'J' || p[1] != 'T' || p[2] != 1 {
+		return 0, 0, errShort
+	}
+	n := binary.BigEndian.Uint16(p[8:])
+	id := binary.BigEndian.Uint32(p[4:])
+	return id, n, nil
+}
+
+// ---- width disagreement at a shared offset ----
+
+func EncodeCount(v uint32) []byte {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint32(buf[0:], v) // want `offset 0: EncodeCount writes 4 bytes but DecodeCount reads 2`
+	return buf
+}
+
+func DecodeCount(p []byte) (uint16, error) {
+	if len(p) < 2 {
+		return 0, errShort
+	}
+	return binary.BigEndian.Uint16(p[0:]), nil
+}
+
+// ---- decoder reads bytes the encoder never wrote ----
+
+func EncodeTiny(v uint16) []byte {
+	buf := make([]byte, 2)
+	binary.BigEndian.PutUint16(buf[0:], v)
+	return buf
+}
+
+func DecodeTiny(p []byte) (uint16, byte, error) {
+	if len(p) < 3 {
+		return 0, 0, errShort
+	}
+	flags := p[2] // want `DecodeTiny reads 1 bytes at offset 2 that EncodeTiny never writes`
+	return binary.BigEndian.Uint16(p[0:]), flags, nil
+}
+
+// ---- encoder allocation does not match its writes ----
+
+func EncodeShortAlloc(a, b uint32) []byte {
+	buf := make([]byte, 6) // want `EncodeShortAlloc sizes buf at 6 bytes but its writes cover 8`
+	binary.BigEndian.PutUint32(buf[0:], a)
+	binary.BigEndian.PutUint32(buf[4:], b)
+	return buf
+}
+
+func DecodeShortAlloc(p []byte) (uint32, uint32, error) {
+	if len(p) < 8 {
+		return 0, 0, errShort
+	}
+	return binary.BigEndian.Uint32(p[0:]), binary.BigEndian.Uint32(p[4:]), nil
+}
+
+// ---- repeated-field loops must agree on element width ----
+
+func AppendVals(dst []byte, xs []uint32) []byte {
+	for _, x := range xs {
+		dst = binary.BigEndian.AppendUint32(dst, x) // want `field 1: AppendVals writes 4 bytes where ParseVals reads 8`
+	}
+	return dst
+}
+
+func ParseVals(p []byte) []uint64 {
+	var out []uint64
+	for off := 0; off+8 <= len(p); off += 8 {
+		out = append(out, binary.BigEndian.Uint64(p[off:]))
+	}
+	return out
+}
+
+// ---- optional fields must be gated by the same condition ----
+
+func AppendOpt(dst []byte, v uint32, extended bool) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, v)
+	if extended { // want `conditional fields gated differently`
+		dst = binary.BigEndian.AppendUint16(dst, 7)
+	}
+	return dst
+}
+
+func ParseOpt(p []byte) (uint32, uint16) {
+	var extra uint16
+	v := binary.BigEndian.Uint32(p[0:])
+	if p[0] == 9 { // want `ParseOpt reads 1 bytes at offset 0 that AppendOpt never writes`
+		extra = binary.BigEndian.Uint16(p[4:])
+	}
+	return v, extra
+}
+
+// ---- structural mismatch: a repeated block with no counterpart ----
+
+func AppendBlock(dst []byte, vs []uint16) []byte {
+	for _, v := range vs { // want `AppendBlock has 1 gated/looped field blocks but ParseBlock has 0`
+		dst = binary.BigEndian.AppendUint16(dst, v)
+	}
+	return dst
+}
+
+func ParseBlock(p []byte) uint16 {
+	return binary.BigEndian.Uint16(p[0:]) // want `ParseBlock reads 2 bytes at offset 0 that AppendBlock never writes`
+}
+
+// ---- //jaal:pair joins names the stems cannot ----
+
+//jaal:pair ReadChunk
+func AppendBlob(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v) // want `offset 0: AppendBlob writes 8 bytes but ReadChunk reads 4`
+}
+
+func ReadChunk(p []byte) (uint32, error) {
+	if len(p) < 4 {
+		return 0, errShort
+	}
+	return binary.BigEndian.Uint32(p[0:]), nil
+}
+
+// ---- byte order must agree ----
+
+func EncodeLE(v uint32) []byte {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf[0:], v) // want `offset 0: EncodeLE writes LittleEndian but DecodeLE reads BigEndian`
+	return buf
+}
+
+func DecodeLE(p []byte) (uint32, error) {
+	if len(p) < 4 {
+		return 0, errShort
+	}
+	return binary.BigEndian.Uint32(p[0:]), nil
+}
+
+// ---- same-package helpers are inlined on both sides ----
+
+func EncodeList(xs []uint32) []byte {
+	buf := make([]byte, 0, len(xs)*4)
+	return appendAll(buf, xs)
+}
+
+func DecodeList(p []byte) ([]uint32, error) {
+	if len(p)%4 != 0 {
+		return nil, errShort
+	}
+	out := make([]uint32, len(p)/4)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(p[i*4:])
+	}
+	return out, nil
+}
+
+func appendAll(dst []byte, xs []uint32) []byte {
+	for _, x := range xs {
+		dst = binary.BigEndian.AppendUint32(dst, x)
+	}
+	return dst
+}
+
+// ---- kind-gated fields, gated identically: no findings ----
+
+type Rec struct {
+	Kind  byte
+	V     uint64
+	Extra uint32
+}
+
+func MarshalRec(r *Rec) []byte {
+	var dst []byte
+	dst = append(dst, r.Kind)
+	dst = binary.BigEndian.AppendUint64(dst, r.V)
+	if r.Kind == 2 {
+		dst = binary.BigEndian.AppendUint32(dst, r.Extra)
+	}
+	return dst
+}
+
+func UnmarshalRec(p []byte) (*Rec, error) {
+	if len(p) < 9 {
+		return nil, errShort
+	}
+	r := &Rec{Kind: p[0]}
+	r.V = binary.BigEndian.Uint64(p[1:])
+	if r.Kind == 2 {
+		if len(p) < 13 {
+			return nil, errShort
+		}
+		r.Extra = binary.BigEndian.Uint32(p[9:])
+	}
+	return r, nil
+}
+
+// ---- diagnostic reads are not wire structure: the byte reads inside
+// fmt.Errorf / panic arguments (the summary codec's "unknown kind
+// byte %d" branch) must not make an error branch op-bearing ----
+
+func MarshalKind(v uint16) []byte {
+	buf := make([]byte, 3)
+	buf[0] = 1
+	binary.BigEndian.PutUint16(buf[1:], v)
+	return buf
+}
+
+func UnmarshalKind(p []byte) (uint16, error) {
+	if len(p) < 3 {
+		return 0, errShort
+	}
+	if p[0] > 3 {
+		panic(fmt.Sprintf("wire: kind byte %d out of range", p[0]))
+	}
+	if p[0] != 1 {
+		return 0, fmt.Errorf("wire: unknown kind byte %d", p[0])
+	}
+	return binary.BigEndian.Uint16(p[1:]), nil
+}
+
+type wireError string
+
+func (e wireError) Error() string { return string(e) }
+
+const errShort = wireError("short")

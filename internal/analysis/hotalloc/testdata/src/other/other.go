@@ -1,0 +1,12 @@
+// A package with no hot roots: the same shapes stay silent.
+package other
+
+import "fmt"
+
+type Monitor struct{}
+
+func (m *Monitor) Ingest(h int) string {
+	var xs []string
+	xs = append(xs, fmt.Sprintf("pkt-%d", h))
+	return xs[0]
+}

@@ -16,36 +16,102 @@ import (
 // justified exception, not an opt-out — and a bare or unparseable
 // jaalvet:ignore comment is itself reported as a finding by the
 // driver. "--" is accepted in place of the em dash.
+//
+// Suppressions that silence nothing are stale: the code they excused
+// was fixed or deleted and the comment now misleads reviewers. The
+// driver reports them separately (RunDetailed's Stale list) so callers
+// can warn without failing the build.
 
 const ignorePrefix = "//jaalvet:ignore"
 
+// supEntry is one parsed jaalvet:ignore comment.
+type supEntry struct {
+	pos   token.Position
+	names map[string]bool // analyzer names, or "all"
+	used  bool            // covered at least one diagnostic this run
+}
+
 // suppressions records, per file and line, which analyzers are silenced.
 type suppressions struct {
-	// byLine maps filename → line → analyzer names (or "all").
-	byLine map[string]map[int]map[string]bool
+	// byLine maps filename → line → entries on that line.
+	byLine  map[string]map[int][]*supEntry
+	entries []*supEntry
 }
 
 // covers reports whether a finding at p from the named analyzer is
-// suppressed. A suppression on line L covers findings on L (trailing
-// comment) and L+1 (comment on its own line above the offender).
+// suppressed, marking the covering entry as used. A suppression on
+// line L covers findings on L (trailing comment) and L+1 (comment on
+// its own line above the offender).
 func (s *suppressions) covers(p token.Position, analyzer string) bool {
 	lines := s.byLine[p.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range [2]int{p.Line, p.Line - 1} {
-		if names := lines[line]; names != nil && (names[analyzer] || names["all"]) {
-			return true
+		for _, e := range lines[line] {
+			if e.names[analyzer] || e.names["all"] {
+				e.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
+}
+
+// stale returns a finding for every suppression that silenced nothing,
+// provided every analyzer it names actually ran (a suppression for an
+// analyzer excluded via -checks cannot be judged). "all" entries are
+// only judged when ran is nil, meaning the full analyzer set ran.
+func (s *suppressions) stale(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, e := range s.entries {
+		if e.used {
+			continue
+		}
+		judgeable := true
+		for n := range e.names {
+			if n == "all" {
+				if ran != nil {
+					judgeable = false
+				}
+				continue
+			}
+			if ran != nil && !ran[n] {
+				judgeable = false
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		out = append(out, Finding{
+			Position: e.pos,
+			Analyzer: "jaalvet",
+			Message:  "stale suppression: no diagnostic on this or the next line matches " + joinNames(e.names),
+		})
+	}
+	return out
+}
+
+func joinNames(names map[string]bool) string {
+	var ns []string
+	for n := range names {
+		ns = append(ns, n)
+	}
+	// Tiny sets; insertion sort keeps output deterministic.
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+	return strings.Join(ns, ",")
 }
 
 // scanSuppressions walks every comment in files, building the
 // suppression table and reporting malformed jaalvet:ignore comments
 // (missing analyzer name or missing reason) as findings.
 func scanSuppressions(fset *token.FileSet, files []*ast.File) (*suppressions, []Finding) {
-	sup := &suppressions{byLine: make(map[string]map[int]map[string]bool)}
+	sup := &suppressions{byLine: make(map[string]map[int][]*supEntry)}
 	var malformed []Finding
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -64,19 +130,17 @@ func scanSuppressions(fset *token.FileSet, files []*ast.File) (*suppressions, []
 					})
 					continue
 				}
+				e := &supEntry{pos: pos, names: make(map[string]bool, len(names))}
+				for _, n := range names {
+					e.names[n] = true
+				}
 				lines := sup.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int][]*supEntry)
 					sup.byLine[pos.Filename] = lines
 				}
-				set := lines[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					lines[pos.Line] = set
-				}
-				for _, n := range names {
-					set[n] = true
-				}
+				lines[pos.Line] = append(lines[pos.Line], e)
+				sup.entries = append(sup.entries, e)
 			}
 		}
 	}

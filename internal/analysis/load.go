@@ -35,11 +35,30 @@ type listEntry struct {
 	DepOnly    bool
 	Standard   bool
 	Incomplete bool
+	// Error carries the load/build error for this package when the -e
+	// flag let go list continue past it. Without decoding this field
+	// the loader can only say "did not load cleanly" — the actual
+	// compiler message (syntax error, broken import) lives here.
+	Error      *listError
+	DepsErrors []*listError
+}
+
+// listError mirrors go list's PackageError JSON shape.
+type listError struct {
+	Pos string // file:line:col, may be empty
+	Err string
+}
+
+func (e *listError) String() string {
+	if e.Pos != "" {
+		return e.Pos + ": " + e.Err
+	}
+	return e.Err
 }
 
 // goList runs the go command in dir and decodes its JSON object stream.
 func goList(dir string, args ...string) ([]listEntry, error) {
-	cmd := exec.Command("go", append([]string{"list", "-e", "-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard,Incomplete"}, args...)...)
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard,Incomplete,Error,DepsErrors"}, args...)...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
@@ -136,8 +155,18 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if e.DepOnly || e.Standard || len(e.GoFiles) == 0 {
 			continue
 		}
-		if e.Incomplete {
-			return nil, fmt.Errorf("analysis: package %s did not load cleanly", e.ImportPath)
+		if e.Incomplete || e.Error != nil {
+			// Surface the underlying compiler/loader message instead of
+			// a bare "did not load cleanly": go list -e keeps going past
+			// broken packages and parks the reason in Error/DepsErrors.
+			switch {
+			case e.Error != nil:
+				return nil, fmt.Errorf("analysis: package %s did not load cleanly: %s", e.ImportPath, e.Error)
+			case len(e.DepsErrors) > 0:
+				return nil, fmt.Errorf("analysis: package %s did not load cleanly: dependency error: %s", e.ImportPath, e.DepsErrors[0])
+			default:
+				return nil, fmt.Errorf("analysis: package %s did not load cleanly (no detail from go list)", e.ImportPath)
+			}
 		}
 		var files []*ast.File
 		for _, name := range e.GoFiles {
@@ -168,14 +197,65 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
 }
 
+// AnalyzerStats counts one analyzer's activity across a whole run.
+type AnalyzerStats struct {
+	// Findings is the number of surviving (unsuppressed) diagnostics.
+	Findings int
+	// Suppressed is the number of diagnostics silenced by a
+	// //jaalvet:ignore comment.
+	Suppressed int
+}
+
+// Result is the full outcome of a vet run.
+type Result struct {
+	// Findings are the surviving diagnostics (suppressions applied,
+	// malformed suppression comments included) in file/line order.
+	Findings []Finding
+	// Stale lists jaalvet:ignore comments that silenced nothing —
+	// advisory, reported separately so callers can warn without
+	// failing.
+	Stale []Finding
+	// Stats maps analyzer name → counts; only analyzers with activity
+	// appear. Malformed suppressions count under "jaalvet".
+	Stats map[string]*AnalyzerStats
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // findings — suppressions already applied, malformed suppression
 // comments reported as findings themselves — in file/line order.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var out []Finding
-	for _, pkg := range pkgs {
+	res, err := RunDetailed(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// RunDetailed is Run plus per-analyzer counts and stale-suppression
+// detection. Packages are visited importers-first (a package before
+// everything it imports) so analyzers using Pass.Shared see caller
+// packages before callee packages; findings are still reported in
+// file/line order regardless.
+func RunDetailed(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{Stats: make(map[string]*AnalyzerStats)}
+	stat := func(name string) *AnalyzerStats {
+		s := res.Stats[name]
+		if s == nil {
+			s = &AnalyzerStats{}
+			res.Stats[name] = s
+		}
+		return s
+	}
+	ran := make(map[string]bool, len(analyzers))
+	shared := make(map[string]map[string]any, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		shared[a.Name] = make(map[string]any)
+	}
+	for _, pkg := range importersFirst(pkgs) {
 		sup, malformed := scanSuppressions(pkg.Fset, pkg.Files)
-		out = append(out, malformed...)
+		res.Findings = append(res.Findings, malformed...)
+		stat("jaalvet").Findings += len(malformed)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -183,27 +263,87 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Shared:    shared[a.Name],
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
 			}
 			for _, d := range pass.diagnostics {
 				p := pkg.Fset.Position(d.Pos)
-				if !sup.covers(p, a.Name) {
-					out = append(out, Finding{Position: p, Analyzer: d.Analyzer, Message: d.Message})
+				if sup.covers(p, a.Name) {
+					stat(a.Name).Suppressed++
+				} else {
+					res.Findings = append(res.Findings, Finding{Position: p, Analyzer: d.Analyzer, Message: d.Message})
+					stat(a.Name).Findings++
 				}
 			}
 		}
+		res.Stale = append(res.Stale, sup.stale(ran)...)
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		fi, fj := out[i].Position, out[j].Position
+	sortFindings(res.Findings)
+	sortFindings(res.Stale)
+	if s, ok := res.Stats["jaalvet"]; ok && s.Findings == 0 && s.Suppressed == 0 {
+		delete(res.Stats, "jaalvet")
+	}
+	return res, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		fi, fj := fs[i].Position, fs[j].Position
 		if fi.Filename != fj.Filename {
 			return fi.Filename < fj.Filename
 		}
 		if fi.Line != fj.Line {
 			return fi.Line < fj.Line
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		return fs[i].Analyzer < fs[j].Analyzer
 	})
-	return out, nil
+}
+
+// importersFirst orders packages so that every package precedes the
+// packages it imports (reverse dependency order), deterministically:
+// roots and import edges are both walked in path order. Call direction
+// follows import direction, so cross-package facts deposited by an
+// importer are visible when its dependencies are analyzed.
+func importersFirst(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	roots := make([]*Package, len(pkgs))
+	copy(roots, pkgs)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Path < roots[j].Path })
+
+	// DFS post-order over import edges puts dependencies first;
+	// reversing it puts importers first.
+	var post []*Package
+	visited := make(map[string]bool, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if visited[p.Path] {
+			return
+		}
+		visited[p.Path] = true
+		imps := p.Types.Imports()
+		paths := make([]string, 0, len(imps))
+		for _, ip := range imps {
+			paths = append(paths, ip.Path())
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			if q := byPath[path]; q != nil {
+				visit(q)
+			}
+		}
+		post = append(post, p)
+	}
+	for _, p := range roots {
+		visit(p)
+	}
+	out := make([]*Package, len(post))
+	for i, p := range post {
+		out[len(post)-1-i] = p
+	}
+	return out
 }

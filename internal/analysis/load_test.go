@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module in a temp dir and returns it.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadSurfacesCompileError(t *testing.T) {
+	// A package with a type error must fail with the underlying
+	// compiler message, not a bare "did not load cleanly".
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module example.com/broken\n\ngo 1.22\n",
+		"main.go": "package broken\n\nfunc f() int { return \"not an int\" }\n",
+	})
+	_, err := Load(dir, ".")
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a type error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "example.com/broken") {
+		t.Errorf("error does not name the package: %v", err)
+	}
+	if strings.HasSuffix(strings.TrimSpace(msg), "did not load cleanly") {
+		t.Errorf("error lost the underlying compiler message: %v", err)
+	}
+	// The gc error for this program mentions the string constant or a
+	// type mismatch; either way detail must survive.
+	if !strings.Contains(msg, "not an int") && !strings.Contains(msg, "string") && !strings.Contains(msg, "cannot use") {
+		t.Errorf("error carries no compiler detail: %v", err)
+	}
+}
+
+func TestLoadSurfacesSyntaxError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module example.com/synbad\n\ngo 1.22\n",
+		"main.go": "package synbad\n\nfunc f( {\n",
+	})
+	_, err := Load(dir, ".")
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a syntax error")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "main.go") {
+		t.Errorf("syntax error does not point at the offending file: %v", err)
+	}
+}
+
+func TestLoadSurfacesBrokenImport(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module example.com/impbad\n\ngo 1.22\n",
+		"main.go": "package impbad\n\nimport _ \"example.com/impbad/nosuch\"\n",
+	})
+	_, err := Load(dir, ".")
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a missing import")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "nosuch") {
+		t.Errorf("error does not name the missing import: %v", err)
+	}
+}
+
+func TestImporterMissingExportData(t *testing.T) {
+	// The unitchecker-style importer must fail loudly when a dependency
+	// has no export data, naming the unresolved path.
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", "package p\n\nimport \"fmt\"\n\nvar _ = fmt.Sprint\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = TypeCheck("p", fset, []*ast.File{f}, NewImporter(fset, map[string]string{}))
+	if err == nil {
+		t.Fatal("TypeCheck succeeded with no export data for fmt")
+	}
+	if !strings.Contains(err.Error(), "no export data") || !strings.Contains(err.Error(), "fmt") {
+		t.Errorf("missing-export error lacks detail: %v", err)
+	}
+}

@@ -1,0 +1,486 @@
+// Package lockheld flags blocking operations reached while a sync
+// mutex is held. Holding a lock across network I/O, a sleep, a channel
+// operation or a Wait turns one slow peer into a stall for every
+// goroutine contending on that lock — the exact failure mode the
+// controller's feedback loop must not have (one dead monitor must cost
+// declines, not epochs).
+//
+// The analysis is flow-sensitive: each function body is lowered to a
+// control-flow graph (internal/analysis/cfg) and a may-hold lock set is
+// propagated by forward dataflow (internal/analysis/dataflow), so a
+// lock released on every path before the blocking call is not reported
+// and a lock acquired on only one branch still is. Lock sets are keyed
+// by the rendered receiver expression (f.mu, c.inner.mu); Lock and
+// RLock acquire, Unlock and RUnlock release. A deferred Unlock does
+// not release for the analysis — it runs at function exit, which is
+// exactly why the blocking call in between is a stall.
+//
+// Blocking operations: methods Read/Write/Accept/ReadFrom/WriteTo on
+// net types, net.Dial*/net.Listen*, time.Sleep, WaitGroup.Wait and
+// Cond.Wait, the wire package's ReadFrame/WriteFrame, channel sends and
+// receives (unless inside a select with a default), range over a
+// channel, and select without a default. Calls to same-package
+// functions that transitively block are themselves blocking, and a
+// call through a same-package interface blocks if any same-package
+// implementation does — that is how a memoizing wrapper holding its
+// mutex across an interface fetch is caught even though the remote
+// implementation lives in another file. Function literals are analyzed
+// as separate functions; defer and go statements are not charged to
+// the enclosing function (they run at exit / on another goroutine).
+package lockheld
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer is the lockheld checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "flag blocking operations (network I/O, sleeps, channel ops, Wait) reached while a mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:  pass,
+		funcs: map[*types.Func]*funcInfo{},
+		comm:  map[ast.Stmt]bool{},
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectStmt); ok {
+				for _, cl := range sel.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+						c.comm[cc.Comm] = true
+					}
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{decl: fd}
+			c.funcs[obj] = fi
+			c.order = append(c.order, fi)
+		}
+	}
+
+	// Transitive blocking classification: a function blocks if its body
+	// contains a blocking operation or calls something that does. The
+	// fixpoint is monotone (blocks only flips false→true), so iteration
+	// order does not affect the result.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range c.order {
+			if fi.blocks {
+				continue
+			}
+			if c.bodyBlocks(fi.decl.Body) {
+				fi.blocks = true
+				changed = true
+			}
+		}
+	}
+
+	for _, fi := range c.order {
+		c.analyzeFunc(fi.decl.Body)
+	}
+	// Function literals run on whatever goroutine invokes them; each is
+	// analyzed as its own function with an empty entry lock set.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.analyzeFunc(lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	funcs map[*types.Func]*funcInfo
+	order []*funcInfo
+	// comm marks the communication statements of select clauses: the
+	// select header is the blocking point, not the chosen comm.
+	comm map[ast.Stmt]bool
+}
+
+type funcInfo struct {
+	decl   *ast.FuncDecl
+	blocks bool
+}
+
+// lockset is the may-hold dataflow fact: rendered lock expression →
+// position of the acquiring Lock call (the earliest, under join).
+type lockset map[string]token.Pos
+
+type problem struct{ c *checker }
+
+func (p problem) Entry() lockset { return lockset{} }
+
+func (p problem) Transfer(b *cfg.Block, in lockset) lockset {
+	out := in
+	for _, s := range b.Stmts {
+		out = p.c.step(out, s, nil)
+	}
+	return out
+}
+
+func (p problem) Join(a, b lockset) lockset {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(lockset, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if cur, ok := out[k]; !ok || v < cur {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (p problem) Equal(a, b lockset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// analyzeFunc solves the lock-set dataflow over one body and replays
+// each block from its IN fact, reporting blocking operations reached
+// with a non-empty lock set.
+func (c *checker) analyzeFunc(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	ins := dataflow.Forward[lockset](g, problem{c})
+	for _, b := range g.Blocks {
+		held := ins[b]
+		for _, s := range b.Stmts {
+			held = c.step(held, s, c.report)
+		}
+	}
+}
+
+func (c *checker) report(pos token.Pos, desc string, held lockset) {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s (locked at line %d)", k, c.pass.Position(held[k]).Line)
+	}
+	c.pass.Reportf(pos, "%s held across blocking %s", strings.Join(parts, ", "), desc)
+}
+
+// step applies one statement's lock transitions to held, emitting a
+// finding for each blocking operation executed while a lock is held
+// (emit is nil during dataflow transfer). Copy-on-write: held is never
+// mutated.
+func (c *checker) step(held lockset, s ast.Stmt, emit func(token.Pos, string, lockset)) lockset {
+	switch s := s.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred calls run at function exit, goroutine bodies on
+		// another goroutine: neither executes here. In particular a
+		// deferred Unlock does not release the lock for the code below.
+		return held
+	case *ast.SelectStmt:
+		// The select statement itself is the blocking point (cfg places
+		// the chosen comm in the clause block). With a default clause it
+		// is a non-blocking poll.
+		if emit != nil && len(held) > 0 && !hasDefault(s) {
+			emit(s.Pos(), "select without default", held)
+		}
+		return held
+	case *ast.RangeStmt:
+		for _, n := range cfg.Exec(s) {
+			held = c.scan(held, n, s, emit)
+		}
+		if emit != nil && len(held) > 0 {
+			if t := c.pass.TypesInfo.TypeOf(s.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					emit(s.X.Pos(), "range over channel", held)
+				}
+			}
+		}
+		return held
+	}
+	for _, n := range cfg.Exec(s) {
+		held = c.scan(held, n, s, emit)
+	}
+	return held
+}
+
+// scan walks the nodes of one statement that execute in the current
+// block, applying Lock/Unlock transitions and reporting blocking
+// operations. FuncLit subtrees are skipped (separate functions).
+func (c *checker) scan(held lockset, n ast.Node, stmt ast.Stmt, emit func(token.Pos, string, lockset)) lockset {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if key, op, pos := c.lockOp(x); op != opNone {
+				if op == opLock {
+					out := make(lockset, len(held)+1)
+					for k, v := range held {
+						out[k] = v
+					}
+					out[key] = pos
+					held = out
+				} else if _, ok := held[key]; ok {
+					out := make(lockset, len(held)-1)
+					for k, v := range held {
+						if k != key {
+							out[k] = v
+						}
+					}
+					held = out
+				}
+				return true
+			}
+			if emit != nil && len(held) > 0 {
+				if desc, ok := c.blockingCall(x); ok {
+					emit(x.Pos(), desc, held)
+				}
+			}
+		case *ast.SendStmt:
+			if emit != nil && len(held) > 0 && !c.comm[stmt] {
+				emit(x.Arrow, "channel send", held)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && emit != nil && len(held) > 0 && !c.comm[stmt] {
+				emit(x.OpPos, "channel receive", held)
+			}
+		}
+		return true
+	})
+	return held
+}
+
+const (
+	opNone = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies a call as a mutex acquire/release. The lock key is
+// the rendered receiver expression, so f.mu and f.c.mu are distinct
+// locks; selection through an embedded mutex renders the embedding
+// struct. Only methods defined in package sync qualify (sync.Locker
+// values included).
+func (c *checker) lockOp(call *ast.CallExpr) (string, int, token.Pos) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone, token.NoPos
+	}
+	var op int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", opNone, token.NoPos
+	}
+	fn := c.methodObj(sel)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone, token.NoPos
+	}
+	return types.ExprString(sel.X), op, call.Pos()
+}
+
+// methodObj resolves the *types.Func a selector call names, through
+// method selections (embedding included) or package-qualified uses.
+func (c *checker) methodObj(sel *ast.SelectorExpr) *types.Func {
+	if s, ok := c.pass.TypesInfo.Selections[sel]; ok {
+		fn, _ := s.Obj().(*types.Func)
+		return fn
+	}
+	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return fn
+}
+
+// blockingCall reports whether a call can block, and how to describe
+// it. Same-package callees use the transitive classification; a call
+// through a same-package interface blocks if any same-package
+// implementation does.
+func (c *checker) blockingCall(call *ast.CallExpr) (string, bool) {
+	fn := c.callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	desc := "call to " + types.ExprString(call.Fun)
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return desc, true
+		}
+	case "net":
+		if isMethod {
+			switch fn.Name() {
+			case "Read", "Write", "Accept", "ReadFrom", "WriteTo":
+				return desc, true
+			}
+		} else if strings.HasPrefix(fn.Name(), "Dial") || strings.HasPrefix(fn.Name(), "Listen") {
+			return desc, true
+		}
+	case "sync":
+		if isMethod && fn.Name() == "Wait" {
+			return desc, true
+		}
+	}
+	if fn.Pkg() != c.pass.Pkg && lastElem(fn.Pkg().Path()) == "wire" &&
+		(fn.Name() == "ReadFrame" || fn.Name() == "WriteFrame") {
+		return desc, true
+	}
+	if fn.Pkg() == c.pass.Pkg {
+		if isMethod && types.IsInterface(sig.Recv().Type()) {
+			iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+			if iface != nil && c.ifaceBlocks(iface, fn.Name()) {
+				return desc, true
+			}
+			return "", false
+		}
+		if fi := c.funcs[fn]; fi != nil && fi.blocks {
+			return desc, true
+		}
+	}
+	return "", false
+}
+
+// ifaceBlocks reports whether any package-level type implementing
+// iface has a blocking method of the given name. This is what connects
+// a fetcher's interface call to the remote implementation that crosses
+// the network.
+func (c *checker) ifaceBlocks(iface *types.Interface, name string) bool {
+	scope := c.pass.Pkg.Scope()
+	for _, nm := range scope.Names() {
+		tn, ok := scope.Lookup(nm).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		T := tn.Type()
+		if types.IsInterface(T) {
+			continue
+		}
+		var impl types.Type
+		switch {
+		case types.Implements(T, iface):
+			impl = T
+		case types.Implements(types.NewPointer(T), iface):
+			impl = types.NewPointer(T)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, c.pass.Pkg, name)
+		if m, ok := obj.(*types.Func); ok {
+			if fi := c.funcs[m]; fi != nil && fi.blocks {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callee resolves the static callee of a call, or nil for func values
+// and builtins.
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return c.methodObj(fun)
+	case *ast.Ident:
+		fn, _ := c.pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// bodyBlocks reports whether a body contains a blocking operation
+// outside FuncLit/defer/go subtrees, under the current transitive
+// classification.
+func (c *checker) bodyBlocks(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok && c.comm[s] {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			if !hasDefault(x) {
+				found = true
+				return false
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.TypesInfo.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if _, ok := c.blockingCall(x); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func lastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,242 @@
+// Fixtures for the lockheld analyzer: blocking operations reached
+// while a mutex is held. The memoFetcher at the bottom reproduces the
+// core fetcher bug (mutex held across an interface fetch whose remote
+// implementation crosses the network).
+package locks
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+type Store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn net.Conn
+	n    int
+}
+
+// ---- direct net I/O under the lock; defer does not release ----
+
+func (s *Store) Flush(p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.conn.Write(p) // want `s\.mu \(locked at line \d+\) held across blocking call to s\.conn\.Write`
+	return err
+}
+
+// ---- released on the straight path before blocking: clean ----
+
+func (s *Store) FlushSafe(p []byte) error {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	_, err := s.conn.Write(p[:n])
+	return err
+}
+
+// ---- acquired on one branch only: may-hold still reports ----
+
+func (s *Store) MaybeLocked(cond bool, p []byte) {
+	if cond {
+		s.mu.Lock()
+	}
+	s.conn.Write(p) // want `s\.mu \(locked at line \d+\) held across blocking call to s\.conn\.Write`
+	if cond {
+		s.mu.Unlock()
+	}
+}
+
+// ---- released on every branch: clean ----
+
+func (s *Store) Balanced(cond bool, p []byte) {
+	s.mu.Lock()
+	if cond {
+		s.n++
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	s.conn.Write(p)
+}
+
+// ---- read locks count too ----
+
+func (s *Store) Snapshot(p []byte) {
+	s.rw.RLock()
+	s.conn.Write(p) // want `s\.rw \(locked at line \d+\) held across blocking call to s\.conn\.Write`
+	s.rw.RUnlock()
+}
+
+// ---- sleeping under the lock, directly and transitively ----
+
+func (s *Store) Backoff() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `s\.mu \(locked at line \d+\) held across blocking call to time\.Sleep`
+	s.mu.Unlock()
+}
+
+func pause() { time.Sleep(time.Millisecond) }
+
+func (s *Store) Retry() {
+	s.mu.Lock()
+	pause() // want `s\.mu \(locked at line \d+\) held across blocking call to pause`
+	s.mu.Unlock()
+}
+
+// ---- dialing and framed I/O under the lock ----
+
+func (s *Store) Reconnect(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conn, err := net.Dial("tcp", addr) // want `s\.mu \(locked at line \d+\) held across blocking call to net\.Dial`
+	if err != nil {
+		return err
+	}
+	s.conn = conn
+	return nil
+}
+
+func (s *Store) Hello() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return wire.WriteFrame(s.conn, wire.MsgHello, nil) // want `s\.mu \(locked at line \d+\) held across blocking call to wire\.WriteFrame`
+}
+
+// ---- several locks held at once: all named, sorted ----
+
+func (s *Store) Both(h *Hub) {
+	h.mu.Lock()
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `h\.mu \(locked at line \d+\), s\.mu \(locked at line \d+\) held across blocking call to time\.Sleep`
+	s.mu.Unlock()
+	h.mu.Unlock()
+}
+
+// ---- channel operations ----
+
+type Hub struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (h *Hub) Publish(v int) {
+	h.mu.Lock()
+	h.ch <- v // want `h\.mu \(locked at line \d+\) held across blocking channel send`
+	h.mu.Unlock()
+}
+
+func (h *Hub) Next() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return <-h.ch // want `h\.mu \(locked at line \d+\) held across blocking channel receive`
+}
+
+// A select with a default is a non-blocking poll: clean.
+func (h *Hub) Poll() (int, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case v := <-h.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func (h *Hub) WaitNext() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select { // want `h\.mu \(locked at line \d+\) held across blocking select without default`
+	case v := <-h.ch:
+		return v
+	}
+}
+
+func (h *Hub) Drain() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for v := range h.ch { // want `h\.mu \(locked at line \d+\) held across blocking range over channel`
+		total += v
+	}
+	return total
+}
+
+// ---- goroutine bodies run elsewhere; deferred Waits run at exit ----
+
+func (h *Hub) Kick(wg *sync.WaitGroup) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go func() { h.ch <- 1 }() // clean: the send runs on its own goroutine
+	defer wg.Wait()           // clean: runs after the unlock at exit
+	h.ch = nil
+}
+
+func (h *Hub) Gather(wg *sync.WaitGroup) {
+	h.mu.Lock()
+	wg.Wait() // want `h\.mu \(locked at line \d+\) held across blocking call to wg\.Wait`
+	h.mu.Unlock()
+}
+
+// ---- a reviewed finding is silenced with a reason ----
+
+func (s *Store) Exchange(p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.conn.Write(p) //jaalvet:ignore lockheld — the mutex is this connection's serialization; holding it across I/O is the design
+	return err
+}
+
+// ---- reproduction of the core fetcher bug: a memoizing wrapper holds
+// its mutex across the interface fetch, and one implementation of the
+// interface crosses the network ----
+
+type Source interface {
+	Fetch(id int) []byte
+}
+
+type localSource struct{ data map[int][]byte }
+
+func (l *localSource) Fetch(id int) []byte { return l.data[id] }
+
+type remoteSource struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (r *remoteSource) Fetch(id int) []byte {
+	buf := make([]byte, 64)
+	r.mu.Lock()
+	n, err := r.conn.Read(buf) // want `r\.mu \(locked at line \d+\) held across blocking call to r\.conn\.Read`
+	r.mu.Unlock()
+	if err != nil {
+		return nil
+	}
+	return buf[:n]
+}
+
+type memoFetcher struct {
+	mu   sync.Mutex
+	src  Source
+	memo map[int][]byte
+}
+
+func (f *memoFetcher) Get(id int) []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if b, ok := f.memo[id]; ok {
+		return b
+	}
+	b := f.src.Fetch(id) // want `f\.mu \(locked at line \d+\) held across blocking call to f\.src\.Fetch`
+	f.memo[id] = b
+	return b
+}
+
+var (
+	_ Source = (*localSource)(nil)
+	_ Source = (*remoteSource)(nil)
+)

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parsePkg type-checks src (importing nothing) as a one-file package.
+func parsePkg(t *testing.T, path, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*ast.File{f}
+	tpkg, info, err := TypeCheck(path, fset, files, NewImporter(fset, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+// markerAnalyzer reports every assignment to an identifier named "bad".
+var markerAnalyzer = &Analyzer{
+	Name: "marker",
+	Doc:  "test analyzer: flags writes to variables named bad",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name == "bad" {
+						p.Reportf(id.Pos(), "write to bad")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestRunDetailedCountsAndStale(t *testing.T) {
+	pkg := parsePkg(t, "p", `package p
+
+func f() {
+	bad := 1 //jaalvet:ignore marker — reviewed: fixture exercises suppression counting
+	_ = bad
+	bad = 2
+	good := 3 //jaalvet:ignore marker — stale: nothing on this line trips marker
+	_ = good
+}
+`)
+	res, err := RunDetailed([]*Package{pkg}, []*Analyzer{markerAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Findings); got != 1 {
+		t.Fatalf("findings = %d (%v), want 1 (the unsuppressed bad = 2)", got, res.Findings)
+	}
+	s := res.Stats["marker"]
+	if s == nil || s.Findings != 1 || s.Suppressed != 1 {
+		t.Errorf("stats[marker] = %+v, want Findings:1 Suppressed:1", s)
+	}
+	if got := len(res.Stale); got != 1 {
+		t.Fatalf("stale = %d (%v), want 1", got, res.Stale)
+	}
+	if !strings.Contains(res.Stale[0].Message, "stale suppression") || res.Stale[0].Position.Line != 7 {
+		t.Errorf("stale finding = %v, want stale-suppression message at line 7", res.Stale[0])
+	}
+}
+
+func TestStaleSkipsAnalyzersNotRun(t *testing.T) {
+	// A suppression naming an analyzer excluded from this run cannot be
+	// judged stale: the analyzer might have fired had it run.
+	pkg := parsePkg(t, "p", `package p
+
+func f() {
+	x := 1 //jaalvet:ignore otherchecker — justified elsewhere
+	_ = x
+}
+`)
+	res, err := RunDetailed([]*Package{pkg}, []*Analyzer{markerAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stale) != 0 {
+		t.Errorf("stale = %v, want none: otherchecker did not run", res.Stale)
+	}
+}
+
+func TestSharedPersistsAcrossPackages(t *testing.T) {
+	// The analyzer records each package it sees in Shared; by the end
+	// the map holds all packages, proving one map is threaded through.
+	a := parsePkg(t, "a", "package a")
+	b := parsePkg(t, "b", "package b")
+	var final map[string]any
+	capture := &Analyzer{
+		Name: "capture",
+		Doc:  "test analyzer: records visited packages in Shared",
+		Run: func(p *Pass) error {
+			p.Shared[p.Pkg.Path()] = true
+			final = p.Shared
+			return nil
+		},
+	}
+	if _, err := RunDetailed([]*Package{a, b}, []*Analyzer{capture}); err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 2 || final["a"] == nil || final["b"] == nil {
+		t.Errorf("Shared after run = %v, want entries for both packages", final)
+	}
+}
+
+func TestImportersFirstOrder(t *testing.T) {
+	// Build a tiny import chain with real types.Packages: c imports b
+	// imports a. Load order input is alphabetical; importers-first must
+	// yield c, b, a.
+	fset := token.NewFileSet()
+	mk := func(path, src string, imp map[string]*Package) *Package {
+		f, err := parser.ParseFile(fset, path+".go", src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpkg, info, err := TypeCheck(path, fset, []*ast.File{f}, pkgImporter(imp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Package{Path: path, Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	}
+	a := mk("example.com/a", "package a\nfunc A() {}", nil)
+	b := mk("example.com/b", `package b
+import "example.com/a"
+func B() { a.A() }`, map[string]*Package{"example.com/a": a})
+	c := mk("example.com/c", `package c
+import "example.com/b"
+func C() { b.B() }`, map[string]*Package{"example.com/b": b})
+
+	got := importersFirst([]*Package{a, b, c})
+	want := []*Package{c, b, a}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("importersFirst order = %v, want [c b a]", paths(got))
+		}
+	}
+}
+
+func paths(ps []*Package) []string {
+	var out []string
+	for _, p := range ps {
+		out = append(out, p.Path)
+	}
+	return out
+}
+
+// pkgImporter resolves imports against already-type-checked Packages.
+type pkgImporter map[string]*Package
+
+func (m pkgImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p.Types, nil
+	}
+	return nil, fmt.Errorf("no package %q", path)
+}

@@ -240,9 +240,11 @@ func (c *Controller) RegisterSource(monitorID int, src RawSource) {
 // inference.RawPacketFetcher, memoizing within one inference round so
 // several questions pulling the same uncertain centroid cost one
 // transfer (and are accounted once). It is shared by the concurrently
-// evaluated questions of one round: the mutex spans lookup and fetch so
-// a centroid's raw packets are pulled exactly once no matter which
-// questions race for them, keeping the accounting deterministic.
+// evaluated questions of one round: the mutex covers only the memo map,
+// and a per-centroid done channel latches the in-flight fetch, so a
+// centroid's raw packets are pulled exactly once no matter which
+// questions race for them — without stalling unrelated centroids behind
+// one monitor's wire round trip.
 type fetcher struct {
 	c *Controller
 	// epoch is the controller epoch the round runs under; raw-fetch
@@ -250,12 +252,23 @@ type fetcher struct {
 	epoch uint64
 
 	mu    sync.Mutex
-	memo  map[inference.CentroidRef][]packet.Header
+	memo  map[inference.CentroidRef]*fetchEntry
 	bytes int // deduplicated raw-header count for stats
 }
 
+// fetchEntry is the per-centroid memo slot. The first question to ask
+// for a centroid inserts the entry and fetches with f.mu released;
+// racers find the entry and wait on done. Holding f.mu across the
+// fetch instead would serialize every question of the round behind one
+// wire round trip (lockheld flags exactly that shape).
+type fetchEntry struct {
+	done chan struct{}
+	hs   []packet.Header
+	err  error
+}
+
 func newFetcher(c *Controller, epoch uint64) *fetcher {
-	return &fetcher{c: c, epoch: epoch, memo: make(map[inference.CentroidRef][]packet.Header)}
+	return &fetcher{c: c, epoch: epoch, memo: make(map[inference.CentroidRef]*fetchEntry)}
 }
 
 // FetchRaw implements inference.RawPacketFetcher. A memo hit reports
@@ -267,24 +280,32 @@ func newFetcher(c *Controller, epoch uint64) *fetcher {
 // and the adaptive controller consume.)
 func (f *fetcher) FetchRaw(ref inference.CentroidRef) ([]packet.Header, int, error) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	if hs, ok := f.memo[ref]; ok {
-		return hs, 0, nil
+	if e, ok := f.memo[ref]; ok {
+		f.mu.Unlock()
+		<-e.done
+		return e.hs, 0, e.err
 	}
+	e := &fetchEntry{done: make(chan struct{})}
+	f.memo[ref] = e
+	f.mu.Unlock()
+	defer close(e.done)
+
 	f.c.mu.Lock()
 	src, ok := f.c.sources[ref.MonitorID]
 	f.c.mu.Unlock()
 	if !ok {
-		return nil, 0, fmt.Errorf("core: no raw source for monitor %d", ref.MonitorID)
+		e.err = fmt.Errorf("core: no raw source for monitor %d", ref.MonitorID)
+		return nil, 0, e.err
 	}
 	// Each memoized miss is one feedback round trip: a span per fetch
 	// shows exactly which centroid pulls stretched the epoch.
 	sp := trace.StartSpan(hRawFetchSeconds, trace.StageRawFetch, ref.MonitorID, f.epoch)
-	hs := src.RawPackets(ref.Epoch, ref.Centroid)
+	e.hs = src.RawPackets(ref.Epoch, ref.Centroid)
 	sp.End()
-	f.memo[ref] = hs
-	f.bytes += len(hs)
-	return hs, len(hs), nil
+	f.mu.Lock()
+	f.bytes += len(e.hs)
+	f.mu.Unlock()
+	return e.hs, len(e.hs), nil
 }
 
 // ProcessEpoch runs one inference round over the summaries collected
@@ -314,7 +335,9 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 	cSummaryElements.Add(int64(agg.Elements))
 	cPacketsSummarized.Add(int64(agg.TotalPackets))
 
-	matcher := snort.RawMatcher{Env: c.env}
+	// Convert to the interface once: passing the concrete struct below
+	// would box it again for every question of the round.
+	var matcher inference.RawMatcher = snort.RawMatcher{Env: c.env}
 	fet := newFetcher(c, epoch)
 
 	// One candidate-set computation covers every question this epoch; a
@@ -366,13 +389,13 @@ func (c *Controller) ProcessEpoch(summaries []*summary.Summary) ([]*inference.Al
 		if r.fb != nil {
 			countVerdict(r.fb.Verdict)
 			if r.fb.Alerted {
-				alerts = append(alerts, inference.NewAlertFromFeedback(id, epoch, r.fb, c.clock))
+				alerts = append(alerts, inference.NewAlertFromFeedback(id, epoch, r.fb, c.clock)) //jaal:alloc-ok alerts are rare; most epochs raise none
 			}
 			continue
 		}
 		if r.match.Alerted() {
 			cSimMatches.Inc()
-			alerts = append(alerts, inference.NewAlertFromMatch(id, epoch, r.match, c.clock))
+			alerts = append(alerts, inference.NewAlertFromMatch(id, epoch, r.match, c.clock)) //jaal:alloc-ok alerts are rare; most epochs raise none
 		}
 	}
 	asp.End()

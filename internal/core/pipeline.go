@@ -108,7 +108,7 @@ func (p *Pipeline) groupOf(h *packet.Header) flowassign.GroupKey {
 		return "all"
 	}
 	g := h.PrefixGroup()
-	return flowassign.GroupKey(fmt.Sprintf("%d>%d", g.SrcPrefix, g.DstPrefix))
+	return flowassign.GroupKey(fmt.Sprintf("%d>%d", g.SrcPrefix, g.DstPrefix)) //jaal:alloc-ok runs once per new flow, not per packet; the flow table memoizes the assignment
 }
 
 // Ingest routes one packet to its flow's monitor, assigning new flows
@@ -162,11 +162,15 @@ func (p *Pipeline) RunEpoch() ([]*inference.Alert, error) {
 		perMon[i], pending[i], errs[i] = p.Monitors[i].CollectSummaries()
 		collectDur[i] = sp.End()
 	})
-	var all []*summary.Summary
+	total := 0
 	for i, ss := range perMon {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
+		total += len(ss)
+	}
+	all := make([]*summary.Summary, 0, total)
+	for _, ss := range perMon {
 		all = append(all, ss...)
 	}
 	// In-process deployment: no wire, so the spans each monitor staged

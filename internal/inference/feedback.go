@@ -205,7 +205,7 @@ func runFeedback(agg *Aggregate, q *rules.Question, cfg FeedbackConfig, fetcher 
 			}
 			res.RawFetches++
 			res.RawPackets += transferred
-			raw = append(raw, hs...)
+			raw = append(raw, hs...) //jaal:alloc-ok uncertain-verdict path only, a handful of questions per epoch; row count is data-dependent
 		}
 		res.Alerted = matcher.MatchRaw(q, raw)
 	default: // VerdictAnomalous

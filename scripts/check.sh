@@ -20,11 +20,17 @@ go build ./...
 
 # Project-specific invariants: determinism (no wall clock / global RNG /
 # unsorted map walks in reproducible packages), obs disabled-path
-# allocation freedom, atomic-access discipline, and wire decode
-# robustness. Any finding fails the build; reviewed exceptions carry a
-# //jaalvet:ignore <analyzer> — <reason> comment. See DESIGN.md
-# ("Static analysis").
-go run ./cmd/jaal-vet ./...
+# allocation freedom, atomic-access discipline, wire decode robustness,
+# encoder/decoder symmetry (encdec), locks held across blocking
+# operations (lockheld), and hot-path allocations (hotalloc). Any
+# finding fails the build; reviewed exceptions carry a
+# //jaalvet:ignore <analyzer> — <reason> comment (//jaal:alloc-ok with
+# a reason for hotalloc). Stale suppressions print as warnings.
+# -summary prints per-analyzer finding/suppression counts so a PR diff
+# of this output shows where new exceptions crept in. See DESIGN.md
+# ("Static analysis"). The run covers internal/analysis itself: the
+# analyzers are not exempt from their own invariants.
+go run ./cmd/jaal-vet -summary ./...
 
 # The determinism invariants first: these fail fast and carry the most
 # signal when instrumentation touches a hot path. The trace golden test

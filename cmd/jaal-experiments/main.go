@@ -37,6 +37,13 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if flag.NArg() >= 1 && flag.Arg(0) == "scoreboard" {
+		if err := runScoreboard(flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "jaal-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

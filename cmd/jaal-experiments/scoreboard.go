@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// runScoreboard implements the `scoreboard` subcommand: run the
+// labelled scenario corpus through the full pipeline, print the
+// per-scenario accuracy table, and gate the result against the
+// tolerance-banded golden.
+//
+// Usage:
+//
+//	jaal-experiments scoreboard [-profile quick|full] [-workers N]
+//	                            [-golden path] [-update] [-json path]
+//
+// With -update the golden is rewritten from this run. Otherwise, when
+// the golden exists, the run is compared against it within the
+// tolerance bands and any violation exits non-zero — the CI detection
+// regression gate (job scoreboard-quick).
+func runScoreboard(args []string) error {
+	fs := flag.NewFlagSet("scoreboard", flag.ExitOnError)
+	profileName := fs.String("profile", "quick", "scoreboard profile: quick (CI) or full (paper scale)")
+	workers := fs.Int("workers", 0, "worker bound for scenario fan-out and pipelines (0 = GOMAXPROCS); the report is identical for every value")
+	goldenPath := fs.String("golden", "internal/scenario/testdata/scoreboard.golden", "tolerance-banded golden to gate against (quick profile only)")
+	update := fs.Bool("update", false, "rewrite the golden from this run instead of comparing")
+	jsonPath := fs.String("json", "", "also write the JSON report to this path (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := scenario.ProfileByName(*profileName)
+	if err != nil {
+		return err
+	}
+	rep, err := scenario.RunAll(p, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.ScoreboardTable(rep).Render())
+
+	if *jsonPath != "" {
+		b, err := scenario.Marshal(rep)
+		if err != nil {
+			return err
+		}
+		if *jsonPath == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+			return err
+		}
+	}
+
+	// The golden pins the quick profile; a full-profile run prints its
+	// table and JSON without gating.
+	if p.Name != "quick" {
+		return nil
+	}
+	if *update {
+		if err := scenario.WriteGolden(*goldenPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scoreboard: golden updated: %s\n", *goldenPath)
+		return nil
+	}
+	want, err := scenario.LoadGolden(*goldenPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "scoreboard: no golden at %s (run with -update to create it)\n", *goldenPath)
+			return nil
+		}
+		return err
+	}
+	if violations := scenario.Compare(rep, want); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "scoreboard: violation: %s\n", v)
+		}
+		return fmt.Errorf("%d tolerance-band violation(s) against %s", len(violations), *goldenPath)
+	}
+	fmt.Fprintf(os.Stderr, "scoreboard: within tolerance of %s\n", *goldenPath)
+	return nil
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// ScoreboardTable renders a scenario scoreboard report as the aligned
+// -stats-style table the CLI prints next to the JSON.
+func ScoreboardTable(r *scenario.Report) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Scenario scoreboard (%s profile)", r.Profile),
+		Columns: []string{"scenario", "pos", "tp", "fp", "fn", "precision", "recall", "f1", "latency"},
+		Notes: []string{
+			"latency: epochs from attack onset to first correct alert per expected attack (miss = undetected)",
+			"flash_crowd is the false-positive trap: all traffic benign, any alert counts as fp",
+		},
+	}
+	for _, res := range r.Results {
+		var lat []string
+		for _, l := range res.Latency {
+			if l.Epochs < 0 {
+				lat = append(lat, l.Attack+":miss")
+			} else {
+				lat = append(lat, fmt.Sprintf("%s:%d", l.Attack, l.Epochs))
+			}
+		}
+		latCell := "-"
+		if len(lat) > 0 {
+			latCell = strings.Join(lat, ",")
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Scenario,
+			fmt.Sprintf("%d", res.Positives),
+			fmt.Sprintf("%d", res.TP),
+			fmt.Sprintf("%d", res.FP),
+			fmt.Sprintf("%d", res.FN),
+			fmt.Sprintf("%.4f", res.Precision),
+			fmt.Sprintf("%.4f", res.Recall),
+			fmt.Sprintf("%.4f", res.F1),
+			latCell,
+		})
+	}
+	return t
+}

@@ -13,11 +13,17 @@
 // keeping same-seed runs reproducible (see DESIGN.md, "Performance").
 //
 // Dispatch is allocation-free in steady state: task descriptors are
-// recycled through a sync.Pool and handed to helpers over a buffered
-// channel with non-blocking sends — a saturated pool degrades to the
-// dispatcher doing the work itself, so nested dispatches (a monitor
-// fan-out whose summarization fans out k-means row chunks) can never
-// deadlock.
+// recycled through a sync.Pool and handed to helpers over a channel.
+// A slot is handed out only after claiming a provably idle helper from
+// an atomic count; with no idle helper the slot is shed and the
+// dispatcher absorbs the work itself. The claim has to track idle
+// helpers, not queue capacity: a buffered send succeeds whenever the
+// queue has space, even when every helper is parked inside an outer
+// task waiting on this very dispatch — nested fan-outs (a scenario
+// sweep whose summarization fans out k-means row chunks) would then
+// park all pool participants on work only they could drain. Claiming
+// idle helpers makes that state unreachable: a queued task implies a
+// helper with no current work, which will dequeue it.
 package par
 
 import (
@@ -39,7 +45,7 @@ var (
 	cInline = obs.NewCounter("jaal_par_inline_total",
 		"dispatches run inline on the caller (small n or single worker)")
 	cShed = obs.NewCounter("jaal_par_shed_total",
-		"helper slots shed because the pool queue was full")
+		"helper slots shed because no helper was idle")
 	gActive = obs.NewIntGauge("jaal_par_active_workers",
 		"goroutines currently executing pool tasks (dispatchers included)")
 )
@@ -86,6 +92,13 @@ var (
 	startOnce sync.Once
 	queue     chan *task
 	poolSize  int
+
+	// idleHelpers counts helpers with no task: parked on the queue or
+	// about to re-park. dispatch claims one slot per helper it enqueues
+	// for (Add(-1) >= 0) and a helper returns its slot after finishing a
+	// task, so tasks in the queue never outnumber helpers free to drain
+	// them — the invariant that keeps nested dispatch deadlock-free.
+	idleHelpers atomic.Int64
 )
 
 // start lazily spins up the shared helpers. With GOMAXPROCS == 1 no
@@ -93,7 +106,10 @@ var (
 func start() {
 	startOnce.Do(func() {
 		poolSize = runtime.GOMAXPROCS(0)
-		queue = make(chan *task, 8*poolSize)
+		// Capacity bounds queue depth ≥ poolSize−1, the most tasks the
+		// idle claims can admit, so a claimed send never blocks.
+		queue = make(chan *task, poolSize)
+		idleHelpers.Store(int64(poolSize - 1))
 		for i := 0; i < poolSize-1; i++ {
 			go func() {
 				for t := range queue {
@@ -101,6 +117,7 @@ func start() {
 					t.run()
 					gActive.Add(-1)
 					t.wg.Done()
+					idleHelpers.Add(1)
 				}
 			}()
 		}
@@ -135,11 +152,15 @@ func dispatch(n, workers, chunk int, fn func(lo, hi int)) {
 	helpers := workers - 1
 	t.wg.Add(helpers)
 	for i := 0; i < helpers; i++ {
-		select {
-		case queue <- t:
-		default:
-			// Every helper is busy; shed the slot rather than block —
-			// the dispatcher below still completes the task alone.
+		if idleHelpers.Add(-1) >= 0 {
+			queue <- t
+		} else {
+			// No helper is idle; shed the slot rather than queue work
+			// nobody is free to take — when this dispatch runs inside a
+			// pool task, a queued slot could otherwise wait on the very
+			// helpers parked in this WaitGroup below. The dispatcher
+			// still completes the task alone.
+			idleHelpers.Add(1)
 			cShed.Inc()
 			t.wg.Done()
 		}

@@ -1,10 +1,21 @@
 package par
 
 import (
+	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 )
+
+// TestMain raises GOMAXPROCS before any dispatch so the pool — sized
+// once at first use — gets real helpers even on a single-CPU CI box.
+// With zero helpers every dispatch inlines and the tests below would
+// exercise none of the queueing, shedding, or nested-dispatch paths.
+func TestMain(m *testing.M) {
+	runtime.GOMAXPROCS(4)
+	os.Exit(m.Run())
+}
 
 // TestRowsCoversExactly checks every index in [0, n) is visited exactly
 // once, across the inline path, the chunked path, and ragged tails.
@@ -46,25 +57,37 @@ func TestForCoversExactly(t *testing.T) {
 }
 
 // TestNestedDispatch drives a fan-out whose work items themselves fan
-// out — the epoch shape (monitor poll → k-means rows). Non-blocking
-// queue sends plus dispatcher participation must complete it even with
-// the pool saturated. Run with -race.
+// out — the epoch shape (monitor poll → k-means rows) and the scenario
+// scoreboard shape (scenario sweep → pipeline → k-means rows). This is
+// the regression test for the pool's deadlock guarantee: when every
+// helper is occupied by an outer task, the nested dispatch must shed
+// its slots and run inline instead of queueing work that only the
+// blocked helpers could drain. Before idle-helper accounting, the
+// buffered queue accepted those slots and all pool participants parked
+// in wg.Wait on each other; the test then hangs until the go test
+// timeout. Repeated rounds widen the window for every participant to
+// reach the nested dispatch at once. Run with -race.
 func TestNestedDispatch(t *testing.T) {
-	const outer, inner = 8, 1024
-	var total atomic.Int64
-	For(outer, 0, func(i int) {
-		Rows(inner, 0, func(lo, hi int) {
-			total.Add(int64(hi - lo))
+	const rounds, outer, inner = 20, 8, 4096
+	for r := 0; r < rounds; r++ {
+		var total atomic.Int64
+		For(outer, 0, func(i int) {
+			Rows(inner, 0, func(lo, hi int) {
+				total.Add(int64(hi - lo))
+			})
 		})
-	})
-	if got := total.Load(); got != outer*inner {
-		t.Fatalf("nested dispatch covered %d indices, want %d", got, outer*inner)
+		if got := total.Load(); got != outer*inner {
+			t.Fatalf("round %d: nested dispatch covered %d indices, want %d", r, got, outer*inner)
+		}
 	}
 }
 
 // TestChunkingIndependentOfWorkers locks in the determinism foundation:
 // the set of (lo, hi) ranges Rows hands out depends only on n, never on
-// the worker count.
+// the parallel worker count. workers=1 is excluded deliberately — it
+// takes the inline path and covers [0, n) as one range (coverage is
+// checked by TestRowsCoversExactly); among dispatching counts the chunk
+// boundaries must be identical.
 func TestChunkingIndependentOfWorkers(t *testing.T) {
 	const n = 1000
 	ranges := func(workers int) map[int]int {
@@ -77,8 +100,11 @@ func TestChunkingIndependentOfWorkers(t *testing.T) {
 		})
 		return out
 	}
-	want := ranges(1)
-	for _, workers := range []int{2, 4, 0} {
+	want := ranges(2)
+	if len(want) != (n+rowChunk-1)/rowChunk {
+		t.Fatalf("workers=2: %d chunks, want %d fixed-size chunks", len(want), (n+rowChunk-1)/rowChunk)
+	}
+	for _, workers := range []int{4, 8, 0} {
 		got := ranges(workers)
 		if len(got) != len(want) {
 			t.Fatalf("workers=%d: %d chunks, want %d", workers, len(got), len(want))

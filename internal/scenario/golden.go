@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Tolerance bands of the golden gate. The golden pins the scoreboard
+// within bands rather than exactly: detection-side changes legitimately
+// move scores a little (threshold retuning, index pruning order), and
+// the gate should catch regressions, not noise.
+const (
+	// ScoreBand bounds how far precision/recall/F1 may drift.
+	ScoreBand = 0.15
+	// LatencyBand bounds detection-latency drift in epochs. A
+	// transition between detected and missed is always a violation.
+	LatencyBand = 2
+	// FPBand bounds false-positive count drift per scenario. Trap
+	// scenarios (no positives at all) are held exactly: any new false
+	// positive on the flash crowd is a regression.
+	FPBand = 2
+)
+
+// Marshal renders a report as the canonical golden bytes: indented
+// JSON, scenarios in catalogue order, trailing newline.
+func Marshal(r *Report) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// LoadGolden reads a golden report from disk.
+func LoadGolden(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("scenario: parsing golden %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteGolden writes the canonical golden bytes for a report.
+func WriteGolden(path string, r *Report) error {
+	b, err := Marshal(r)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Compare checks a fresh report against the golden within the
+// tolerance bands and returns one human-readable violation per
+// breached metric, each naming the scenario and metric. An empty slice
+// means the gate passes.
+func Compare(got, want *Report) []string {
+	var v []string
+	if got.Profile != want.Profile {
+		v = append(v, fmt.Sprintf("profile: got %q, golden %q", got.Profile, want.Profile))
+	}
+	wantBy := make(map[string]Result, len(want.Results))
+	for _, r := range want.Results {
+		wantBy[r.Scenario] = r
+	}
+	gotBy := make(map[string]bool, len(got.Results))
+	for _, g := range got.Results {
+		gotBy[g.Scenario] = true
+		w, ok := wantBy[g.Scenario]
+		if !ok {
+			v = append(v, fmt.Sprintf("%s: not in golden (run with -update after adding a scenario)", g.Scenario))
+			continue
+		}
+		v = append(v, compareResult(g, w)...)
+	}
+	for _, w := range want.Results {
+		if !gotBy[w.Scenario] {
+			v = append(v, fmt.Sprintf("%s: in golden but missing from report", w.Scenario))
+		}
+	}
+	return v
+}
+
+func compareResult(got, want Result) []string {
+	var v []string
+	band := func(metric string, g, w float64) {
+		if math.Abs(g-w) > ScoreBand {
+			v = append(v, fmt.Sprintf("%s: %s %.4f outside ±%.2f of golden %.4f",
+				got.Scenario, metric, g, ScoreBand, w))
+		}
+	}
+	band("precision", got.Precision, want.Precision)
+	band("recall", got.Recall, want.Recall)
+	band("f1", got.F1, want.F1)
+
+	fpBand := FPBand
+	if want.Positives == 0 {
+		fpBand = 0 // trap scenarios are exact
+	}
+	if d := got.FP - want.FP; d > fpBand || d < -fpBand {
+		v = append(v, fmt.Sprintf("%s: fp %d outside ±%d of golden %d",
+			got.Scenario, got.FP, fpBand, want.FP))
+	}
+
+	wantLat := make(map[string]int, len(want.Latency))
+	for _, l := range want.Latency {
+		wantLat[l.Attack] = l.Epochs
+	}
+	for _, l := range got.Latency {
+		wl, ok := wantLat[l.Attack]
+		if !ok {
+			v = append(v, fmt.Sprintf("%s: latency[%s] not in golden", got.Scenario, l.Attack))
+			continue
+		}
+		switch {
+		case (l.Epochs < 0) != (wl < 0):
+			v = append(v, fmt.Sprintf("%s: latency[%s] changed detected/missed: got %d, golden %d",
+				got.Scenario, l.Attack, l.Epochs, wl))
+		case l.Epochs >= 0 && abs(l.Epochs-wl) > LatencyBand:
+			v = append(v, fmt.Sprintf("%s: latency[%s] %d outside ±%d of golden %d",
+				got.Scenario, l.Attack, l.Epochs, LatencyBand, wl))
+		}
+	}
+	return v
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,258 @@
+// Package scenario is the labelled scenario corpus and accuracy
+// scoreboard: seeded end-to-end workloads — background traffic plus one
+// attack family (or a benign trap) with per-packet ground truth — each
+// run through the full monitor→controller pipeline and scored into
+// per-scenario precision, recall, F1 and detection latency. The
+// scoreboard JSON report, pinned by a tolerance-banded golden, is the
+// detection regression gate for every change to verdict behaviour
+// (question translation, the question index, feedback tuning, future
+// anomaly heads).
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"repro/internal/rules"
+	"repro/internal/trafficgen"
+)
+
+// Profile fixes the pipeline and workload dimensions of a scoreboard
+// run. Two profiles are defined: Quick fits the CI budget, Full is the
+// paper-scale local run.
+type Profile struct {
+	// Name tags the report ("quick" or "full").
+	Name string
+	// Monitors is M; the traffic of every epoch spreads across them
+	// via the flow-assignment module.
+	Monitors int
+	// BatchSize, Rank, Centroids, MinBatch are the summarization
+	// operating point (n, r, k, n_min).
+	BatchSize, Rank, Centroids, MinBatch int
+	// PacketsPerEpoch is the epoch volume; count thresholds are scaled
+	// to it.
+	PacketsPerEpoch int
+	// Epochs is the scenario length; the attack (or trap surge) is
+	// active in epochs [Onset, Offset).
+	Epochs, Onset, Offset int
+	// Workers bounds pipeline concurrency (0 = GOMAXPROCS). The report
+	// is byte-identical for every value.
+	Workers int
+}
+
+// QuickProfile is the reduced-epoch CI profile (the scoreboard-quick
+// job's 60 s budget).
+func QuickProfile() Profile {
+	return Profile{
+		Name: "quick", Monitors: 2,
+		BatchSize: 500, Rank: 12, Centroids: 100, MinBatch: 100,
+		PacketsPerEpoch: 2000, Epochs: 8, Onset: 2, Offset: 6,
+	}
+}
+
+// FullProfile is the paper-scale operating point (n = 1000, k = 200,
+// four monitors) for local regression runs.
+func FullProfile() Profile {
+	return Profile{
+		Name: "full", Monitors: 4,
+		BatchSize: 1000, Rank: 12, Centroids: 200, MinBatch: 200,
+		PacketsPerEpoch: 8000, Epochs: 12, Onset: 3, Offset: 9,
+	}
+}
+
+// ProfileByName resolves "quick" or "full".
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "quick":
+		return QuickProfile(), nil
+	case "full":
+		return FullProfile(), nil
+	}
+	return Profile{}, fmt.Errorf("scenario: unknown profile %q (want quick or full)", name)
+}
+
+// Scenario is one corpus entry: a seeded traffic recipe with ground
+// truth, plus the expected-alert spec that maps the pipeline's alerts
+// back onto truth.
+type Scenario struct {
+	// Name identifies the scenario in reports and goldens.
+	Name string
+	// Seed drives every random choice of the scenario (background,
+	// attack, interleaving); the whole run is a pure function of it.
+	Seed int64
+	// Attack is the injected attack family ("" for a pure-benign trap
+	// scenario). The generator comes from trafficgen.NewAttack unless
+	// NewAttack overrides it.
+	Attack rules.AttackID
+	// NewAttack optionally builds a custom generator (a stealth-scan
+	// variant, the multi-stage campaign).
+	NewAttack func(cfg trafficgen.AttackConfig, p Profile) (trafficgen.Attack, error)
+	// VictimPort overrides the attacked service port (0 keeps the
+	// generator default).
+	VictimPort uint16
+	// AttackFraction caps the attack share of active-epoch traffic
+	// (0 selects the per-attack paper default).
+	AttackFraction float64
+	// UDP marks a mixed-protocol workload: the background carries a
+	// 10 % UDP share and the summarizer runs at rank 14 (mixed batches
+	// carry one more latent dimension; see the UDP detection tests).
+	UDP bool
+	// Surge marks the flash-crowd trap: instead of an attack, a benign
+	// surge is interleaved during the active window. Everything stays
+	// ground-truth benign, so every alert scores as a false positive.
+	Surge bool
+	// Expect lists the truth attack IDs the detector must raise during
+	// their active epochs — one entry for single-family scenarios, one
+	// per stage for the campaign, empty for traps.
+	Expect []rules.AttackID
+	// Accept maps a raised alert ID to additional truth IDs it may
+	// satisfy, in priority order (every alert always satisfies its own
+	// ID). This encodes known rule overlap: e.g. the three flags:S
+	// volumetric rules all fire on any SYN-heavy flood, and the
+	// Sockstress window-0 rule fires on slowloris keepalives.
+	Accept map[rules.AttackID][]rules.AttackID
+	// Ignore lists alert IDs that count neither as hit nor as false
+	// positive for this scenario.
+	Ignore []rules.AttackID
+}
+
+// Victim is the common attacked/surged host: 10.0.0.42 in HOME_NET.
+const Victim = uint32(0x0A00002A)
+
+// Env returns the evaluation environment (HOME_NET = 10/8), matching
+// the victim addresses the generators use.
+func Env() *rules.Environment {
+	env := rules.NewEnvironment()
+	env.Set("HOME_NET", netip.MustParsePrefix("10.0.0.0/8"))
+	return env
+}
+
+// synFamily is the rule-overlap alias set of the flags:S volumetric
+// rules: each fires on any sufficiently SYN-heavy aggregate at a
+// tracked destination, so within a SYN-shaped scenario all three
+// satisfy the scenario's truth ID.
+func synFamily(truth rules.AttackID) map[rules.AttackID][]rules.AttackID {
+	out := make(map[rules.AttackID][]rules.AttackID, 3)
+	for _, id := range []rules.AttackID{
+		rules.AttackSYNFlood, rules.AttackDistributedSYNFlood, rules.AttackPortScan,
+	} {
+		if id != truth {
+			out[id] = []rules.AttackID{truth}
+		}
+	}
+	return out
+}
+
+// Catalogue returns the scenario corpus: the paper's evaluated attacks,
+// the five scenario-corpus families, and the flash-crowd trap. Order is
+// fixed; reports and goldens list scenarios in this order.
+func Catalogue() []Scenario {
+	return []Scenario{
+		{
+			Name: "syn_flood", Seed: 101, Attack: rules.AttackSYNFlood,
+			Expect: []rules.AttackID{rules.AttackSYNFlood},
+			Accept: synFamily(rules.AttackSYNFlood),
+		},
+		{
+			Name: "distributed_syn_flood", Seed: 102, Attack: rules.AttackDistributedSYNFlood,
+			Expect: []rules.AttackID{rules.AttackDistributedSYNFlood},
+			Accept: synFamily(rules.AttackDistributedSYNFlood),
+		},
+		{
+			Name: "port_scan", Seed: 103, Attack: rules.AttackPortScan,
+			Expect: []rules.AttackID{rules.AttackPortScan},
+			Accept: synFamily(rules.AttackPortScan),
+		},
+		{
+			Name: "ssh_brute_force", Seed: 104, Attack: rules.AttackSSHBruteForce,
+			Expect: []rules.AttackID{rules.AttackSSHBruteForce},
+			Accept: synFamily(rules.AttackSSHBruteForce),
+		},
+		{
+			// Port 443 keeps the victim off the slowloris rule's pinned
+			// port 80, so the two window-0 scenarios stay separable.
+			Name: "sockstress", Seed: 105, Attack: rules.AttackSockstress,
+			VictimPort: 443,
+			Expect:     []rules.AttackID{rules.AttackSockstress},
+		},
+		{
+			// The SSH rule pins port 22, the Mirai rule port 23; the
+			// normalized gap (1/65535 averaged over the active fields) is
+			// far below the summary's distance resolution, so the SSH rule
+			// legitimately fires on telnet-scan mass.
+			Name: "mirai_scan", Seed: 106, Attack: rules.AttackMiraiScan,
+			Expect: []rules.AttackID{rules.AttackMiraiScan},
+			Accept: map[rules.AttackID][]rules.AttackID{
+				rules.AttackSSHBruteForce: {rules.AttackMiraiScan},
+			},
+		},
+		{
+			Name: "udp_flood", Seed: 107, Attack: rules.AttackUDPFlood, UDP: true,
+			Expect: []rules.AttackID{rules.AttackUDPFlood},
+		},
+		{
+			// The UDP-flood rule (any UDP mass at a tracked home
+			// destination) legitimately fires on reflection traffic too.
+			Name: "reflection_ddos", Seed: 108, Attack: rules.AttackReflection, UDP: true,
+			Expect: []rules.AttackID{rules.AttackReflection},
+			Accept: map[rules.AttackID][]rules.AttackID{
+				rules.AttackUDPFlood: {rules.AttackReflection},
+			},
+		},
+		{
+			// The Sockstress window-0 rule fires on slowloris keepalives
+			// (same zero-window ACK mass at one victim).
+			Name: "slowloris", Seed: 109, Attack: rules.AttackSlowloris,
+			Expect: []rules.AttackID{rules.AttackSlowloris},
+			Accept: map[rules.AttackID][]rules.AttackID{
+				rules.AttackSockstress: {rules.AttackSlowloris},
+			},
+		},
+		{
+			Name: "stealth_fin_scan", Seed: 110, Attack: rules.AttackStealthScan,
+			NewAttack: stealthVariant(trafficgen.StealthFIN),
+			Expect:    []rules.AttackID{rules.AttackStealthScan},
+		},
+		{
+			Name: "stealth_xmas_scan", Seed: 111, Attack: rules.AttackStealthScan,
+			NewAttack: stealthVariant(trafficgen.StealthXmas),
+			Expect:    []rules.AttackID{rules.AttackStealthScan},
+		},
+		{
+			// Three stages across the active window: reconnaissance scan,
+			// SSH brute-force infection, bulk exfiltration. Each stage
+			// must be detected in its own epochs.
+			Name: "campaign", Seed: 112, Attack: rules.AttackPortScan,
+			NewAttack: newCampaign,
+			Expect:    trafficgen.CampaignStages,
+			Accept: map[rules.AttackID][]rules.AttackID{
+				rules.AttackSYNFlood:            {rules.AttackPortScan, rules.AttackSSHBruteForce},
+				rules.AttackDistributedSYNFlood: {rules.AttackPortScan, rules.AttackSSHBruteForce},
+				rules.AttackPortScan:            {rules.AttackSSHBruteForce},
+			},
+		},
+		{
+			// The false-positive trap: a benign flash crowd at one home
+			// server. Ground truth is all-benign; any alert is a false
+			// positive and recall is vacuously perfect.
+			Name: "flash_crowd", Seed: 113, Surge: true,
+		},
+	}
+}
+
+// stealthVariant builds a NewAttack hook for one stealth-scan variant.
+func stealthVariant(v trafficgen.StealthVariant) func(trafficgen.AttackConfig, Profile) (trafficgen.Attack, error) {
+	return func(cfg trafficgen.AttackConfig, _ Profile) (trafficgen.Attack, error) {
+		return trafficgen.NewStealthScan(rand.New(rand.NewSource(cfg.Seed)), cfg, v), nil
+	}
+}
+
+// newCampaign sizes the campaign stages to one active epoch of attack
+// traffic each (the paper's 10 % injection cap), so stage transitions
+// land on epoch boundaries and every stage is scored against a whole
+// epoch of its own truth; the final exfiltration stage runs unbounded
+// through the rest of the active window.
+func newCampaign(cfg trafficgen.AttackConfig, p Profile) (trafficgen.Attack, error) {
+	return trafficgen.NewCampaign(cfg, p.PacketsPerEpoch/10)
+}

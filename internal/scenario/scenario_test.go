@@ -1,0 +1,224 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/inference"
+	"repro/internal/rules"
+)
+
+// updateScoreboardGolden regenerates testdata/scoreboard.golden from
+// the current pipeline output. Run it after an intentional detection
+// change (threshold retuning, new rule, new scenario):
+//
+//	go test ./internal/scenario/ -run TestScoreboardGolden -update-scoreboard-golden
+var updateScoreboardGolden = flag.Bool("update-scoreboard-golden", false,
+	"rewrite testdata/scoreboard.golden from the current pipeline output")
+
+const goldenPath = "testdata/scoreboard.golden"
+
+// TestScoreboardGolden is the detection regression gate: the quick
+// profile's scoreboard must stay within the tolerance bands of the
+// checked-in golden.
+func TestScoreboardGolden(t *testing.T) {
+	rep, err := RunAll(QuickProfile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateScoreboardGolden {
+		if err := WriteGolden(goldenPath, rep); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := LoadGolden(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-scoreboard-golden to create): %v", err)
+	}
+	for _, v := range Compare(rep, want) {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestScoreboardWorkerDeterminism pins the report — down to the bytes
+// of its JSON — against the worker count, on a reduced profile so the
+// three runs stay cheap under -race.
+func TestScoreboardWorkerDeterminism(t *testing.T) {
+	p := Profile{
+		Name: "det", Monitors: 2,
+		BatchSize: 400, Rank: 12, Centroids: 80, MinBatch: 80,
+		PacketsPerEpoch: 1200, Epochs: 4, Onset: 1, Offset: 3,
+	}
+	var first []byte
+	for _, workers := range []int{1, 4, 8} {
+		rep, err := RunAll(p, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = b
+			continue
+		}
+		if !bytes.Equal(first, b) {
+			t.Fatalf("report bytes differ between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+func TestCatalogueShape(t *testing.T) {
+	cat := Catalogue()
+	if len(cat) < 10 {
+		t.Fatalf("corpus has %d scenarios, want ≥ 10", len(cat))
+	}
+	names := map[string]bool{}
+	seeds := map[int64]bool{}
+	traps := 0
+	for _, s := range cat {
+		if names[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+		if seeds[s.Seed] {
+			t.Fatalf("scenario %s reuses seed %d", s.Name, s.Seed)
+		}
+		seeds[s.Seed] = true
+		if s.Surge {
+			traps++
+			if len(s.Expect) != 0 || s.Attack != "" {
+				t.Fatalf("trap %s must inject no attack and expect no alerts", s.Name)
+			}
+			continue
+		}
+		if len(s.Expect) == 0 {
+			t.Fatalf("scenario %s expects no detection", s.Name)
+		}
+	}
+	for _, want := range []string{
+		"reflection_ddos", "slowloris", "stealth_fin_scan",
+		"stealth_xmas_scan", "campaign", "flash_crowd",
+	} {
+		if !names[want] {
+			t.Fatalf("catalogue missing the %s scenario", want)
+		}
+	}
+	if traps != 1 {
+		t.Fatalf("want exactly one false-positive trap, have %d", traps)
+	}
+}
+
+// TestScoreSemantics pins the grading rules on a hand-built alert
+// stream: Ignore drops alerts, Accept aliases them onto the scenario's
+// truth, a late-summarized batch's alert covers the previous epoch,
+// below-threshold traces are tolerated, and false positives dedupe per
+// (epoch, alert).
+func TestScoreSemantics(t *testing.T) {
+	s := Scenario{
+		Name:   "unit",
+		Expect: []rules.AttackID{"a"},
+		Accept: map[rules.AttackID][]rules.AttackID{"b": {"a"}},
+		Ignore: []rules.AttackID{"c"},
+	}
+	p := Profile{PacketsPerEpoch: 1000, Epochs: 5, Onset: 1, Offset: 3}
+	truth := []map[rules.AttackID]int{
+		{}, {"a": 100}, {"a": 100, "d": 3}, {}, {},
+	}
+	alerts := [][]*inference.Alert{
+		{{Attack: "c"}},                // ignored
+		{},                             // miss, covered by e2's carryover
+		{{Attack: "b"}},                // accepted alias, covers e2 and e1
+		{{Attack: "d"}},                // trace of d in e2: tolerated
+		{{Attack: "x"}, {Attack: "x"}}, // one deduped false positive
+	}
+	res := score(s, p, truth, alerts)
+	if res.Positives != 2 || res.TP != 2 || res.FN != 0 {
+		t.Fatalf("positives/tp/fn = %d/%d/%d, want 2/2/0", res.Positives, res.TP, res.FN)
+	}
+	if res.FP != 1 {
+		t.Fatalf("fp = %d, want 1 (ignored, tolerated and duplicate alerts must not count)", res.FP)
+	}
+	if res.Recall != 1 || res.Precision != 0.6667 {
+		t.Fatalf("precision/recall = %v/%v", res.Precision, res.Recall)
+	}
+	if len(res.Latency) != 1 || res.Latency[0] != (LatencyEntry{Attack: "a", Epochs: 1}) {
+		t.Fatalf("latency = %+v, want a:1 (onset e1, first hit e2)", res.Latency)
+	}
+}
+
+// TestGoldenPlumbing round-trips a report through the golden files and
+// checks that perturbed scores fail the gate with a violation naming
+// the scenario and metric.
+func TestGoldenPlumbing(t *testing.T) {
+	rep := &Report{Profile: "quick", Results: []Result{
+		{
+			Scenario: "syn_flood", Positives: 4, TP: 4,
+			Precision: 1, Recall: 1, F1: 1,
+			Latency: []LatencyEntry{{Attack: "syn_flood", Epochs: 0}},
+		},
+		{Scenario: "flash_crowd", Precision: 1, Recall: 1, F1: 1},
+	}}
+	path := filepath.Join(t.TempDir(), "scoreboard.golden")
+	if err := WriteGolden(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	want, err := LoadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Compare(rep, want); len(v) != 0 {
+		t.Fatalf("clean round trip reports violations: %v", v)
+	}
+	b1, err := Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("golden bytes changed across write/load")
+	}
+
+	perturb := func(f func(*Report)) []string {
+		var bad Report
+		if err := json.Unmarshal(b1, &bad); err != nil {
+			t.Fatal(err)
+		}
+		f(&bad)
+		return Compare(&bad, want)
+	}
+	cases := []struct {
+		name     string
+		mutate   func(*Report)
+		contains []string
+	}{
+		{"score drift", func(r *Report) { r.Results[0].F1 = 0.5 }, []string{"syn_flood", "f1"}},
+		{"detected to missed", func(r *Report) { r.Results[0].Latency[0].Epochs = -1 },
+			[]string{"syn_flood", "latency[syn_flood]", "detected/missed"}},
+		{"trap false positive", func(r *Report) { r.Results[1].FP = 1 }, []string{"flash_crowd", "fp"}},
+		{"scenario dropped", func(r *Report) { r.Results = r.Results[:1] }, []string{"flash_crowd", "missing"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := perturb(tc.mutate)
+			if len(v) == 0 {
+				t.Fatal("perturbed report passed the gate")
+			}
+			joined := strings.Join(v, "\n")
+			for _, want := range tc.contains {
+				if !strings.Contains(joined, want) {
+					t.Fatalf("violations must name %q; got:\n%s", want, joined)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package scenario
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/inference"
+	"repro/internal/rules"
+)
+
+// Result is one scenario's scorecard. Positive instances are
+// (epoch, truth-ID) pairs in which the attack was active; an instance
+// is a true positive when at least one accepted alert covered it.
+// False positives are distinct (epoch, alert-ID) pairs that matched no
+// active truth (and were neither a below-threshold trace of the attack
+// nor ignored).
+type Result struct {
+	Scenario  string  `json:"scenario"`
+	Positives int     `json:"positives"`
+	TP        int     `json:"tp"`
+	FP        int     `json:"fp"`
+	FN        int     `json:"fn"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	// Latency is per expected truth ID: epochs from attack onset to the
+	// first correct alert (-1 when the attack went undetected).
+	Latency []LatencyEntry `json:"latency,omitempty"`
+}
+
+// LatencyEntry is one truth ID's detection latency.
+type LatencyEntry struct {
+	Attack string `json:"attack"`
+	Epochs int    `json:"epochs"`
+}
+
+// Report is the scoreboard output: every catalogue scenario's Result in
+// catalogue order, tagged with the profile that produced it.
+type Report struct {
+	Profile string   `json:"profile"`
+	Results []Result `json:"results"`
+}
+
+// activeThreshold is the emitted-packet count at which a truth ID
+// counts as active in an epoch: 1 % of the epoch volume. Below it (but
+// above zero) the attack left only a trace — e.g. the tail of a
+// campaign stage straddling an epoch boundary — and alerts for it are
+// tolerated without counting either way.
+func activeThreshold(p Profile) int {
+	t := p.PacketsPerEpoch / 100
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+type instance struct {
+	epoch int
+	id    rules.AttackID
+}
+
+// score grades one scenario's alert stream against its ground truth.
+func score(s Scenario, p Profile, truth []map[rules.AttackID]int, alerts [][]*inference.Alert) *Result {
+	thresh := activeThreshold(p)
+	activeAt := func(e int, id rules.AttackID) bool {
+		return e >= 0 && e < len(truth) && truth[e][id] >= thresh
+	}
+	traceAt := func(e int, id rules.AttackID) bool {
+		return e >= 0 && e < len(truth) && truth[e][id] > 0
+	}
+	ignored := make(map[rules.AttackID]bool, len(s.Ignore))
+	for _, id := range s.Ignore {
+		ignored[id] = true
+	}
+
+	detected := make(map[instance]bool)
+	firstHit := make(map[rules.AttackID]int)
+	fpSeen := make(map[instance]bool)
+	fp := 0
+	for e, as := range alerts {
+		for _, a := range as {
+			if ignored[a.Attack] {
+				continue
+			}
+			candidates := append([]rules.AttackID{a.Attack}, s.Accept[a.Attack]...)
+			matched := false
+			for _, id := range candidates {
+				// A batch below MinBatch at the epoch boundary is
+				// summarized one epoch late, so an alert also covers the
+				// previous epoch's activity.
+				for _, de := range []int{0, -1} {
+					if activeAt(e+de, id) {
+						detected[instance{e + de, id}] = true
+						if _, ok := firstHit[id]; !ok {
+							firstHit[id] = e
+						}
+						matched = true
+					}
+				}
+				if matched {
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			tolerated := false
+			for _, id := range candidates {
+				if traceAt(e, id) || traceAt(e-1, id) {
+					tolerated = true
+					break
+				}
+			}
+			if !tolerated {
+				key := instance{e, a.Attack}
+				if !fpSeen[key] {
+					fpSeen[key] = true
+					fp++
+				}
+			}
+		}
+	}
+
+	res := &Result{Scenario: s.Name, FP: fp}
+	for e := range truth {
+		ids := make([]rules.AttackID, 0, len(truth[e]))
+		for id := range truth[e] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if !activeAt(e, id) {
+				continue
+			}
+			res.Positives++
+			if detected[instance{e, id}] {
+				res.TP++
+			} else {
+				res.FN++
+			}
+		}
+	}
+
+	res.Precision = ratio(res.TP, res.TP+res.FP)
+	res.Recall = ratio(res.TP, res.Positives)
+	if res.Precision+res.Recall > 0 {
+		res.F1 = round4(2 * res.Precision * res.Recall / (res.Precision + res.Recall))
+	}
+
+	for _, id := range s.Expect {
+		onset := -1
+		for e := range truth {
+			if activeAt(e, id) {
+				onset = e
+				break
+			}
+		}
+		lat := -1
+		if hit, ok := firstHit[id]; ok && onset >= 0 {
+			lat = hit - onset
+			if lat < 0 {
+				lat = 0
+			}
+		}
+		res.Latency = append(res.Latency, LatencyEntry{Attack: string(id), Epochs: lat})
+	}
+	return res
+}
+
+// ratio returns a/b rounded to 4 decimals, and 1 when there were no
+// chances to be wrong (b == 0): a trap with zero false positives has
+// perfect precision, a trap with zero positives has perfect recall.
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 1
+	}
+	return round4(float64(a) / float64(b))
+}
+
+func round4(x float64) float64 { return math.Round(x*10000) / 10000 }

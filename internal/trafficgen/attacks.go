@@ -61,6 +61,14 @@ func NewAttack(id rules.AttackID, cfg AttackConfig) (Attack, error) {
 		return NewMiraiScan(rng, cfg), nil
 	case rules.AttackUDPFlood:
 		return &udpFlood{rng: rng, cfg: cfg, sources: randomSources(rng, cfg.Sources)}, nil
+	case rules.AttackReflection:
+		return &reflectionFlood{rng: rng, cfg: cfg, reflectors: randomSources(rng, cfg.Sources)}, nil
+	case rules.AttackSlowloris:
+		return &slowloris{rng: rng, cfg: cfg}, nil
+	case rules.AttackStealthScan:
+		return NewStealthScan(rng, cfg, StealthFIN), nil
+	case rules.AttackExfiltration:
+		return &exfiltration{rng: rng, cfg: cfg}, nil
 	default:
 		return nil, fmt.Errorf("trafficgen: unknown attack %q", id)
 	}

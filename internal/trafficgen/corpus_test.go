@@ -1,0 +1,360 @@
+package trafficgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/rules"
+)
+
+// TestCorpusGeneratorsDeterministic pins the generator contract for
+// every scenario-corpus family: the stream is a pure function of the
+// seed (same seed ⇒ byte-identical headers), and seeds actually matter.
+func TestCorpusGeneratorsDeterministic(t *testing.T) {
+	builders := []struct {
+		name string
+		make func(t *testing.T, seed int64) func() packet.Header
+	}{
+		{"reflection", func(t *testing.T, seed int64) func() packet.Header {
+			a, err := NewAttack(rules.AttackReflection, AttackConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a.Next
+		}},
+		{"slowloris", func(t *testing.T, seed int64) func() packet.Header {
+			a, err := NewAttack(rules.AttackSlowloris, AttackConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a.Next
+		}},
+		{"exfiltration", func(t *testing.T, seed int64) func() packet.Header {
+			a, err := NewAttack(rules.AttackExfiltration, AttackConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a.Next
+		}},
+		{"stealth_fin", func(t *testing.T, seed int64) func() packet.Header {
+			return NewStealthScan(rand.New(rand.NewSource(seed)), AttackConfig{Seed: seed}, StealthFIN).Next
+		}},
+		{"stealth_idle", func(t *testing.T, seed int64) func() packet.Header {
+			return NewStealthScan(rand.New(rand.NewSource(seed)), AttackConfig{Seed: seed}, StealthIdle).Next
+		}},
+		{"campaign", func(t *testing.T, seed int64) func() packet.Header {
+			c, err := NewCampaign(AttackConfig{Seed: seed}, 50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c.Next
+		}},
+		{"flash_crowd", func(t *testing.T, seed int64) func() packet.Header {
+			return NewFlashCrowd(AttackConfig{Seed: seed}).Next
+		}},
+	}
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			x, y := b.make(t, 1), b.make(t, 1)
+			for i := 0; i < 500; i++ {
+				if x() != y() {
+					t.Fatalf("same seed diverges at packet %d", i)
+				}
+			}
+			x2, z := b.make(t, 1), b.make(t, 2)
+			same := true
+			for i := 0; i < 500; i++ {
+				if x2() != z() {
+					same = false
+				}
+			}
+			if same {
+				t.Fatal("different seeds must generate different traces")
+			}
+		})
+	}
+}
+
+func TestReflectionFloodShape(t *testing.T) {
+	a, err := NewAttack(rules.AttackReflection, AttackConfig{Seed: 30, Victim: 0x0A000001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dns, ntp := 0, 0
+	reflectors := map[uint32]bool{}
+	for i := 0; i < 1000; i++ {
+		h := a.Next()
+		if h.Protocol != packet.ProtoUDP {
+			t.Fatalf("packet %d not UDP", i)
+		}
+		// The spoofed-victim signature: every amplified response
+		// converges on the victim as destination.
+		if h.DstIP != 0x0A000001 {
+			t.Fatalf("packet %d dst %08x, want the spoofed victim", i, h.DstIP)
+		}
+		switch h.SrcPort {
+		case 53:
+			dns++
+			if h.TotalLength < 1200 {
+				t.Fatalf("DNS response length %d below amplified size", h.TotalLength)
+			}
+		case 123:
+			ntp++
+		default:
+			t.Fatalf("packet %d from source port %d, want a reflector service port", i, h.SrcPort)
+		}
+		reflectors[h.SrcIP] = true
+	}
+	if ntp == 0 || dns < 5*ntp {
+		t.Fatalf("reflector mix off: dns=%d ntp=%d (want ≈9:1)", dns, ntp)
+	}
+	if len(reflectors) < 100 {
+		t.Fatalf("only %d reflectors, a carpet attack uses many", len(reflectors))
+	}
+}
+
+func TestSlowlorisShape(t *testing.T) {
+	a, err := NewAttack(rules.AttackSlowloris, AttackConfig{Seed: 31, Victim: 0x0A000001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syns, keepalives := 0, 0
+	conns := map[uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		h := a.Next()
+		if h.DstIP != 0x0A000001 || h.DstPort != 80 {
+			t.Fatalf("packet %d must target the victim web server", i)
+		}
+		conns[uint64(h.SrcIP)<<16|uint64(h.SrcPort)] = true
+		if h.Flags.Has(packet.FlagSYN) {
+			syns++
+			continue
+		}
+		keepalives++
+		// The slow-read signature: held connections advertise a zero
+		// receive window on every keepalive.
+		if !h.Flags.Has(packet.FlagACK) || h.Window != 0 {
+			t.Fatalf("packet %d is neither handshake nor zero-window keepalive", i)
+		}
+	}
+	if syns == 0 || keepalives < 2*syns {
+		t.Fatalf("steady state must be keepalives: %d SYNs, %d keepalives", syns, keepalives)
+	}
+	if len(conns) > slowlorisMaxConns {
+		t.Fatalf("%d connections exceed the tool's table of %d", len(conns), slowlorisMaxConns)
+	}
+	if len(conns) < 100 {
+		t.Fatalf("only %d held connections, want a few hundred", len(conns))
+	}
+}
+
+func TestStealthScanVariants(t *testing.T) {
+	cases := []struct {
+		variant   StealthVariant
+		wantFlags packet.TCPFlags
+	}{
+		{StealthFIN, packet.FlagFIN},
+		{StealthXmas, packet.FlagFIN | packet.FlagPSH | packet.FlagURG},
+		{StealthNull, 0},
+		{StealthIdle, packet.FlagSYN},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.variant), func(t *testing.T) {
+			a := NewStealthScan(rand.New(rand.NewSource(32)), AttackConfig{Seed: 32, Victim: 0x0A002A01}, tc.variant)
+			dsts := map[uint32]bool{}
+			ports := map[uint16]bool{}
+			srcs := map[uint32]bool{}
+			prevIPID := uint16(0)
+			for i := 0; i < 1000; i++ {
+				h := a.Next()
+				if h.Flags != tc.wantFlags {
+					t.Fatalf("packet %d flags %v, want %v", i, h.Flags, tc.wantFlags)
+				}
+				if h.DstIP&^0xFF != 0x0A002A00 {
+					t.Fatalf("packet %d dst %08x outside the victim /24", i, h.DstIP)
+				}
+				dsts[h.DstIP] = true
+				ports[h.DstPort] = true
+				srcs[h.SrcIP] = true
+				if tc.variant == StealthIdle {
+					if h.IPID != prevIPID+1 {
+						t.Fatalf("idle zombie IPID jumped: %d after %d", h.IPID, prevIPID)
+					}
+					prevIPID = h.IPID
+				}
+			}
+			if len(dsts) < 100 {
+				t.Fatalf("swept only %d hosts of the /24", len(dsts))
+			}
+			if len(ports) < 80 {
+				t.Fatalf("probed only %d ports, want the well-known list", len(ports))
+			}
+			if tc.variant == StealthIdle && len(srcs) != 1 {
+				t.Fatalf("idle scan must spoof one zombie, saw %d sources", len(srcs))
+			}
+			if tc.variant != StealthIdle && len(srcs) < 2 {
+				t.Fatal("non-idle scan must rotate sources")
+			}
+		})
+	}
+}
+
+func TestExfiltrationShape(t *testing.T) {
+	a, err := NewAttack(rules.AttackExfiltration, AttackConfig{Seed: 33, Victim: 0x0A000001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := a.Next()
+	if first.Flags != packet.FlagSYN {
+		t.Fatal("channel must open with a handshake SYN")
+	}
+	srcPorts := map[uint16]bool{first.SrcPort: true}
+	for i := 0; i < 500; i++ {
+		h := a.Next()
+		// Direction is the point: the compromised home host pushes data
+		// *out* to the fixed collection endpoint.
+		if h.SrcIP != 0x0A000001 {
+			t.Fatalf("packet %d not from the compromised victim", i)
+		}
+		if h.DstIP != exfilCollectorIP || h.DstPort != exfilCollectorPort {
+			t.Fatalf("packet %d not to the collection point", i)
+		}
+		if h.Flags != packet.FlagACK|packet.FlagPSH || h.TotalLength != 1500 {
+			t.Fatalf("packet %d is not a full bulk segment", i)
+		}
+		srcPorts[h.SrcPort] = true
+	}
+	if len(srcPorts) != 1 {
+		t.Fatalf("bulk transfer must ride one flow, saw %d source ports", len(srcPorts))
+	}
+}
+
+func TestCampaignStageBoundaries(t *testing.T) {
+	c, err := NewCampaign(AttackConfig{Seed: 34, Victim: 0x0A000001}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 350; i++ {
+		h := c.Next()
+		want := rules.AttackPortScan
+		switch {
+		case i >= 200:
+			want = rules.AttackExfiltration
+		case i >= 100:
+			want = rules.AttackSSHBruteForce
+		}
+		// ID after Next names the stage of the packet just emitted —
+		// the contract the Mixer's labelling relies on.
+		if got := c.ID(); got != want {
+			t.Fatalf("packet %d labelled %s, want %s", i, got, want)
+		}
+		switch want {
+		case rules.AttackSSHBruteForce:
+			if h.DstPort != 22 {
+				t.Fatalf("packet %d of the infection stage targets port %d", i, h.DstPort)
+			}
+		case rules.AttackExfiltration:
+			if h.DstPort != exfilCollectorPort {
+				t.Fatalf("packet %d of the exfiltration stage targets port %d", i, h.DstPort)
+			}
+		}
+	}
+	if c.Stage() != 2 {
+		t.Fatalf("campaign ended in stage %d, want the final stage", c.Stage())
+	}
+}
+
+func TestFlashCrowdShape(t *testing.T) {
+	f := NewFlashCrowd(AttackConfig{Seed: 35, Victim: 0x0A000001, VictimPort: 443})
+	bareSYN, data := 0, 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		h := f.Next()
+		if h.SrcIP != 0x0A000001 && h.DstIP != 0x0A000001 {
+			t.Fatalf("packet %d does not involve the surged server", i)
+		}
+		if h.Window == 0 {
+			t.Fatalf("packet %d advertises a zero window; a crowd is healthy", i)
+		}
+		if h.Flags == packet.FlagSYN {
+			bareSYN++
+		}
+		if h.TotalLength > 40 {
+			data++
+		}
+	}
+	// What separates a crowd from a flood: handshakes are the natural
+	// minority and established-flow data dominates.
+	if frac := float64(bareSYN) / n; frac > 0.2 {
+		t.Fatalf("bare-SYN share %.3f looks like a flood, not a crowd", frac)
+	}
+	if frac := float64(data) / n; frac < 0.5 {
+		t.Fatalf("data share %.3f too low for an established crowd", frac)
+	}
+}
+
+// TestMixerCampaignStageLabels covers the mixer × multi-stage gap: the
+// campaign interleaved with background across epoch-sized chunks must
+// keep the attack-fraction cap, and every attack label must match both
+// the stage order and the packet's own shape at stage transitions.
+func TestMixerCampaignStageLabels(t *testing.T) {
+	bg := NewBackground(DefaultBackgroundConfig(36))
+	camp, err := NewCampaign(AttackConfig{Seed: 36, Victim: 0x0A000001}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMixer(bg, camp, MixConfig{Seed: 36})
+	stageOf := map[string]int{}
+	for i, id := range CampaignStages {
+		stageOf[string(id)] = i
+	}
+	lastStage, total, attack := 0, 0, 0
+	counts := map[string]int{}
+	// Chunk the stream so stage transitions land mid-chunk and across
+	// chunk (epoch) boundaries, as they do in a scoreboard run.
+	for e := 0; e < 4; e++ {
+		for i := 0; i < 1500; i++ {
+			p := m.Next()
+			total++
+			if p.Label != LabelAttack {
+				continue
+			}
+			attack++
+			st, ok := stageOf[p.Attack]
+			if !ok {
+				t.Fatalf("unknown attack label %q", p.Attack)
+			}
+			if st < lastStage {
+				t.Fatalf("attack packet %d regressed to stage %s", attack, p.Attack)
+			}
+			lastStage = st
+			counts[p.Attack]++
+			switch rules.AttackID(p.Attack) {
+			case rules.AttackPortScan:
+				if !p.Header.Flags.Has(packet.FlagSYN) {
+					t.Fatal("scan-stage packet without SYN")
+				}
+			case rules.AttackSSHBruteForce:
+				if p.Header.DstPort != 22 {
+					t.Fatalf("infection-stage packet targets port %d", p.Header.DstPort)
+				}
+			case rules.AttackExfiltration:
+				if p.Header.DstPort != exfilCollectorPort {
+					t.Fatalf("exfiltration-stage packet targets port %d", p.Header.DstPort)
+				}
+			}
+		}
+	}
+	if frac := float64(attack) / float64(total); frac > 0.101 {
+		t.Fatalf("attack fraction %.3f exceeds the 10%% cap", frac)
+	}
+	// The bounded stages emit exactly stageLen packets each — labels at
+	// the transitions stay attached to the right stage.
+	if counts[string(rules.AttackPortScan)] != 150 || counts[string(rules.AttackSSHBruteForce)] != 150 {
+		t.Fatalf("bounded stages emitted %v, want exactly 150 each", counts)
+	}
+	if counts[string(rules.AttackExfiltration)] == 0 {
+		t.Fatal("campaign never reached the exfiltration stage")
+	}
+}

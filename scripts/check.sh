@@ -40,4 +40,11 @@ go run ./cmd/jaal-vet -summary ./...
 # -update-trace-golden after an intentional instrumentation change.
 go test -race -run 'TestPipelineParallelDeterminism|TestPipelineObsDeterminism|TestPipelineTraceDeterminism|TestPipelineTraceGolden' ./internal/core/
 
+# Detection accuracy gate: the scoreboard report must be byte-identical
+# across worker counts, and the quick-profile scores must stay within
+# the tolerance bands of internal/scenario/testdata/scoreboard.golden;
+# regenerate with -update-scoreboard-golden after an intentional
+# detection change. See EXPERIMENTS.md ("Scenario scoreboard").
+go test -race -run 'TestScoreboardWorkerDeterminism|TestScoreboardGolden' ./internal/scenario/
+
 go test -race ./...

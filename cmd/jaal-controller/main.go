@@ -250,6 +250,16 @@ func main() {
 			log.Printf("epoch %d degraded: proceeding with %d summaries", epochN, len(res.Summaries))
 		}
 		pollDur := time.Since(pollStart)
+		// Volumetric verdicts ride the digest trailers sketching monitors
+		// append to their summary frames: merged and logged here, no raw
+		// fetch involved. Sketchless monitors ship none and this is a
+		// no-op.
+		if rep := ctrl.ObserveDigests(epochN, res.Digests); rep != nil {
+			for _, v := range rep.Verdicts {
+				log.Printf("epoch %d volumetric: %s %s drawing %.1f%% of %d offered packets (~%d flows, shed %.1f%%)",
+					epochN, v.Dimension, ipString(v.Addr), 100*v.Share, rep.Offered, rep.Flows, 100*rep.ShedFraction())
+			}
+		}
 		inferStart := time.Now()
 		alerts, err := ctrl.ProcessEpoch(res.Summaries)
 		if err != nil {
@@ -285,4 +295,9 @@ func main() {
 		log.Printf("epoch %d: %d summaries, %d packets summarized, overhead %.1f%% of raw",
 			ctrl.Epoch()-1, len(res.Summaries), st.PacketsSummarized, 100*st.OverheadFraction())
 	}
+}
+
+// ipString renders a uint32 IPv4 address as a dotted quad for logs.
+func ipString(v uint32) string {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}).String()
 }

@@ -8,11 +8,13 @@
 //
 // where <experiment> is one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // fig11 table1 headline varest adaptive adapt multiwindow encoding
-// coverage sketchcost batchsize matchscale all. ("adaptive" is the
-// evasive-attacker ablation; "adapt" is the adaptive-threshold
+// coverage sketchcost batchsize overload matchscale all. ("adaptive"
+// is the evasive-attacker ablation; "adapt" is the adaptive-threshold
 // trajectory of ISSUE 5; "matchscale" is the ISSUE 6 indexed-matching
 // harness and is excluded from "all" because its numbers are wall-clock
-// timings.)
+// timings; "overload" is the sketch-assisted load-shedding grid at
+// 1×/5×/10× offered load, excluded from "all" because it has its own
+// warn-only CI job.)
 //
 // -quick reduces trial counts for a fast smoke run; the default scale
 // mirrors the paper's averaging (15 runs per point).
@@ -33,7 +35,7 @@ func main() {
 	stats := flag.Bool("stats", false, "collect runtime metrics and print the observability summary table to stderr")
 	topoNum := flag.Int("topology", 1, "topology for fig7/fig9: 1 (Abovenet-like) or 2 (Exodus-like)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: jaal-experiments [-quick] <fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|headline|varest|adaptive|adapt|multiwindow|encoding|coverage|sketchcost|batchsize|matchscale|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: jaal-experiments [-quick] <fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|headline|varest|adaptive|adapt|multiwindow|encoding|coverage|sketchcost|batchsize|overload|matchscale|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -153,6 +155,9 @@ func run(name string, sc experiments.Scale, quick bool, top *topology.Topology) 
 			trials = 5
 		}
 		_, tbl, err := experiments.BatchSizeSweep(trials)
+		return render(tbl, err)
+	case "overload":
+		_, tbl, err := experiments.Overload(quick)
 		return render(tbl, err)
 	case "matchscale":
 		sizes := []int{100, 1000, 10000}

@@ -8,6 +8,7 @@
 //	jaal-monitor -listen :7101 -id 0 [-batch 1000] [-rank 12] [-k 200]
 //	             [-trace-seed 1] [-attack distributed_syn_flood] [-pps 5000]
 //	             [-obs :9101] [-epochlog monitor.jsonl] [-trace]
+//	             [-sketch] [-shed-watermark 0]
 //
 // -obs enables metric collection and serves Prometheus-text
 // GET /metrics plus net/http/pprof on the given address (default off).
@@ -19,6 +20,14 @@
 // version-tolerant trailer old controllers ignore), where they join the
 // controller's per-epoch timeline at /trace. Off by default; off means
 // wire frames identical to pre-trace builds.
+//
+// -sketch runs the count-min/HLL ingest pass and ships a compact
+// volumetric digest with each epoch's first summary frame (another
+// version-tolerant trailer old controllers skip). -shed-watermark
+// additionally arms load shedding: past that many admitted packets per
+// epoch only heavy-hitter traffic and a 1-in-8 mice subsample reach the
+// batch slab, and past twice the watermark nothing does. Setting
+// -shed-watermark implies -sketch.
 //
 // The monitor synthesizes background traffic continuously (standing in
 // for a tap on a production link) and optionally mixes in a labeled
@@ -37,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/rules"
+	"repro/internal/sketch"
 	"repro/internal/summary"
 	"repro/internal/trace"
 	"repro/internal/trafficgen"
@@ -54,6 +64,8 @@ func main() {
 		traceOn   = flag.Bool("trace", false, "stamp per-stage spans and ship them with each summary")
 		attack    = flag.String("attack", "", "attack to inject (empty = clean traffic)")
 		pps       = flag.Int("pps", 5000, "synthesized packets per second")
+		sketchOn  = flag.Bool("sketch", false, "run the count-min/HLL ingest sketch and ship a volumetric digest with each summary")
+		shedMark  = flag.Int("shed-watermark", 0, "per-epoch admitted-packet budget; past it mice flows are shed/subsampled and past 2x everything is (0 = sketch only, never shed; implies -sketch when set)")
 		obsAddr   = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (empty = observability off)")
 		epochLog  = flag.String("epochlog", "", "append JSON-lines epoch log to this file (empty = off)")
 		writeTO   = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline; a stalled controller cannot wedge a serving goroutine (0 = none)")
@@ -81,11 +93,15 @@ func main() {
 		epochLogger = obs.NewEpochLogger(f)
 	}
 
-	mon, err := core.NewMonitor(*id, summary.Config{
+	scfg := sketch.Config{Enabled: *sketchOn || *shedMark > 0, ShedWatermark: *shedMark}
+	mon, err := core.NewMonitorSketch(*id, summary.Config{
 		BatchSize: *batch, Rank: *rank, Centroids: *k, MinBatch: *nmin, Seed: int64(*id) + 1,
-	})
+	}, scfg)
 	if err != nil {
 		log.Fatalf("jaal-monitor: %v", err)
+	}
+	if scfg.Enabled {
+		log.Printf("sketch ingest on (shed watermark %d)", *shedMark)
 	}
 
 	bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(*traceSeed))

@@ -324,7 +324,7 @@ func TestReconnectRejectsWrongMonitor(t *testing.T) {
 		t.Fatalf("connected to monitor %d, want 5", rm.ID())
 	}
 	rm.Close() // force the next exchange to reconnect — to the wrong monitor
-	if _, _, err := rm.Poll(0); err == nil || !strings.Contains(err.Error(), "5") {
+	if _, _, _, err := rm.Poll(0); err == nil || !strings.Contains(err.Error(), "5") {
 		t.Fatalf("reconnect to a different monitor must fail with an identity error, got %v", err)
 	}
 }

@@ -60,6 +60,9 @@ type Controller struct {
 	alerts  []*inference.Alert
 	// stats accumulate communication accounting across epochs.
 	stats Stats
+	// lastVolumetric is the most recent merged sketch-digest report
+	// (see volumetric.go); nil until a digest-carrying epoch arrives.
+	lastVolumetric *VolumetricReport
 }
 
 // wireSizeBytes is the per-header transfer cost used by the overhead

@@ -28,6 +28,18 @@ var (
 	cFinerSummaries = obs.NewCounter("jaal_monitor_finer_summaries_total",
 		"finer-granularity re-summarizations served (§5.3)")
 
+	// Sketch-assisted ingest (the AMON-style shedding pass). Shed counts
+	// packets dropped before the batch slab under the watermark; the
+	// sketch gauges snapshot the last collected digest.
+	cShedPackets = obs.NewCounter("jaal_monitor_shed_packets_total",
+		"packets shed by the sketch pass before the batch slab")
+	cSketchDigests = obs.NewCounter("jaal_sketch_digests_total",
+		"per-epoch sketch digests produced by monitors")
+	gSketchFlows = obs.NewIntGauge("jaal_sketch_flows_last",
+		"distinct-flow estimate of the last collected sketch digest")
+	gSketchShedFraction = obs.NewGauge("jaal_sketch_shed_fraction_last",
+		"shed fraction (shed/offered) of the last collected sketch digest")
+
 	// Controller side.
 	cEpochs = obs.NewCounter("jaal_controller_epochs_total",
 		"inference rounds executed")
@@ -55,6 +67,8 @@ var (
 		"feedback-loop verdicts by case (§5.3)")
 	cVerdictAnomalous = obs.NewCounter("jaal_controller_feedback_verdicts_total{verdict=\"anomalous\"}",
 		"feedback-loop verdicts by case (§5.3)")
+	cVolumetricVerdicts = obs.NewCounter("jaal_controller_volumetric_verdicts_total",
+		"volumetric verdicts issued from merged sketch digests (no raw fetch)")
 
 	// Communication accounting — the live Fig. 12 view. The gauge is
 	// (summary + feedback bytes) / equivalent raw-header bytes, i.e.

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/packet"
+	"repro/internal/sketch"
 	"repro/internal/summary"
 	"repro/internal/trace"
 )
@@ -29,14 +30,19 @@ import (
 type Monitor struct {
 	id int
 
-	// mu guards buf, ready and load. The SVD+k-means compute is never
-	// performed while holding it.
+	// mu guards buf, ready, load and ing. The SVD+k-means compute is
+	// never performed while holding it.
 	mu    sync.Mutex
 	buf   *summary.Buffer
 	ready []*summary.Summary
 	// load tracks packets ingested in the current load window,
 	// answering the flow-assignment module's load queries.
 	load int
+	// ing is the optional sketch pass in front of the batch slab
+	// (AMON-style overload shedding + volumetric digest). Nil when the
+	// sketch is off, in which case ingest behaves byte-identically to a
+	// sketchless monitor.
+	ing *sketch.Ingest
 
 	// szrMu serializes use of the summarizer, whose RNG and arena make
 	// it single-goroutine.
@@ -44,9 +50,20 @@ type Monitor struct {
 	summarizer *summary.Summarizer
 }
 
-// NewMonitor builds a monitor with the given summarization config.
+// NewMonitor builds a monitor with the given summarization config and
+// no sketch pass.
 func NewMonitor(id int, cfg summary.Config) (*Monitor, error) {
+	return NewMonitorSketch(id, cfg, sketch.Config{})
+}
+
+// NewMonitorSketch builds a monitor with a sketch pass in front of the
+// batch slab. A disabled sketch config yields a plain monitor.
+func NewMonitorSketch(id int, cfg summary.Config, scfg sketch.Config) (*Monitor, error) {
 	szr, err := summary.NewSummarizer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ing, err := sketch.NewIngest(scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -54,6 +71,7 @@ func NewMonitor(id int, cfg summary.Config) (*Monitor, error) {
 		id:         id,
 		buf:        summary.NewBuffer(cfg.BatchSize),
 		summarizer: szr,
+		ing:        ing,
 	}, nil
 }
 
@@ -69,6 +87,12 @@ func (m *Monitor) Ingest(h packet.Header) error {
 	cIngestPackets.Inc()
 	m.mu.Lock()
 	m.load++
+	if m.ing != nil && !m.ing.Observe(h.SrcIP, h.DstIP, h.Flow().FastHash()) {
+		m.buf.NoteShed(1)
+		m.mu.Unlock()
+		cShedPackets.Inc()
+		return nil
+	}
 	batch, ok := m.buf.Add(h)
 	m.mu.Unlock()
 	if !ok {
@@ -193,11 +217,33 @@ func (m *Monitor) FinerSummary(epoch uint64, k int) (*summary.Summary, error) {
 	return fs, err
 }
 
+// SketchDigest snapshots the sketch pass into a wire-ready digest for
+// the given controller epoch, or nil when the sketch is off. Called
+// once per controller poll (alongside CollectSummaries), so the
+// snapshot copies are off the per-packet path.
+func (m *Monitor) SketchDigest(epoch uint64) *sketch.Digest {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ing == nil {
+		return nil
+	}
+	d := m.ing.Digest(m.id, epoch)
+	cSketchDigests.Inc()
+	gSketchFlows.Set(int64(d.FlowEstimate()))
+	if d.Offered > 0 {
+		gSketchShedFraction.Set(float64(d.Shed) / float64(d.Offered))
+	}
+	return d
+}
+
 // AdvanceEpoch rolls the monitor to the next epoch, expiring old raw
-// packet retention.
+// packet retention and resetting the per-epoch sketches.
 func (m *Monitor) AdvanceEpoch() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.ing != nil {
+		m.ing.Reset()
+	}
 	return m.buf.AdvanceEpoch()
 }
 

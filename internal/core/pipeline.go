@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/par"
+	"repro/internal/sketch"
 	"repro/internal/summary"
 	"repro/internal/trace"
 )
@@ -41,6 +42,10 @@ type PipelineConfig struct {
 	NumMonitors int
 	// Summary is each monitor's summarization config.
 	Summary summary.Config
+	// Sketch arms the per-monitor sketch pass (heavy-hitter shedding +
+	// volumetric digests). The zero value keeps it off, in which case
+	// the pipeline is byte-identical to a sketchless build.
+	Sketch sketch.Config
 	// Controller configures the inference engine.
 	Controller ControllerConfig
 	// Groups optionally pre-defines flow groups. When nil, a single
@@ -80,7 +85,7 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	for i := 0; i < cfg.NumMonitors; i++ {
 		mcfg := cfg.Summary
 		mcfg.Seed = cfg.Summary.Seed + int64(i) // decorrelate k-means seeds
-		m, err := NewMonitor(i, mcfg)
+		m, err := NewMonitorSketch(i, mcfg, cfg.Sketch)
 		if err != nil {
 			return nil, err
 		}
@@ -155,11 +160,13 @@ func (p *Pipeline) RunEpoch() ([]*inference.Alert, error) {
 
 	perMon := make([][]*summary.Summary, len(p.Monitors))
 	pending := make([]int, len(p.Monitors))
+	digests := make([]*sketch.Digest, len(p.Monitors))
 	collectDur := make([]time.Duration, len(p.Monitors))
 	errs := make([]error, len(p.Monitors))
 	par.For(len(p.Monitors), p.workers, func(i int) {
 		sp := trace.StartSpanWhen(timed, hCollectSeconds, trace.StageCollect, p.Monitors[i].ID(), epoch)
 		perMon[i], pending[i], errs[i] = p.Monitors[i].CollectSummaries()
+		digests[i] = p.Monitors[i].SketchDigest(epoch)
 		collectDur[i] = sp.End()
 	})
 	total := 0
@@ -179,6 +186,18 @@ func (p *Pipeline) RunEpoch() ([]*inference.Alert, error) {
 	for _, m := range p.Monitors {
 		trace.AdoptMonitorSpans(epoch, m.ID())
 	}
+
+	// Merge the epoch's sketch digests (joined in monitor order) into
+	// the volumetric report before inference. The report is a read-only
+	// side channel: alerts are identical with the sketch on or off as
+	// long as nothing was shed.
+	epochDigests := make([]*sketch.Digest, 0, len(digests))
+	for _, d := range digests {
+		if d != nil {
+			epochDigests = append(epochDigests, d)
+		}
+	}
+	p.Controller.ObserveDigests(epoch, epochDigests)
 
 	var inferStart time.Time
 	if timed {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/par"
+	"repro/internal/sketch"
 	"repro/internal/summary"
 	"repro/internal/trace"
 )
@@ -52,6 +53,9 @@ type PollResult struct {
 	// Summaries holds every summary that arrived, joined in monitor
 	// order.
 	Summaries []*summary.Summary
+	// Digests holds the sketch digests of monitors running the sketch
+	// pass, joined in monitor order (absent monitors contribute none).
+	Digests []*sketch.Digest
 	// Declines records the monitors that contributed no summaries,
 	// protocol declines and transport failures both.
 	Declines []MonitorDecline
@@ -65,6 +69,7 @@ type PollResult struct {
 func (p *Poller) Poll(epoch uint64) PollResult {
 	perMon := make([][]*summary.Summary, len(p.Remotes))
 	pending := make([]int, len(p.Remotes))
+	digests := make([]*sketch.Digest, len(p.Remotes))
 	errs := make([]error, len(p.Remotes))
 	par.For(len(p.Remotes), p.Workers, func(i int) {
 		// The ship span covers the whole wire round trip (request, the
@@ -72,7 +77,7 @@ func (p *Poller) Poll(epoch uint64) PollResult {
 		// controller; the per-stage breakdown inside it arrives with the
 		// monitor's trace context.
 		sp := trace.StartSpan(nil, trace.StageShip, p.Remotes[i].ID(), epoch)
-		perMon[i], pending[i], errs[i] = p.Remotes[i].Poll(epoch)
+		perMon[i], pending[i], digests[i], errs[i] = p.Remotes[i].Poll(epoch)
 		sp.End()
 	})
 
@@ -88,6 +93,9 @@ func (p *Poller) Poll(epoch uint64) PollResult {
 				MonitorID: rm.ID(), Epoch: epoch, Pending: pending[i]})
 		default:
 			res.Summaries = append(res.Summaries, perMon[i]...)
+		}
+		if digests[i] != nil {
+			res.Digests = append(res.Digests, digests[i])
 		}
 	}
 	if res.Degraded {

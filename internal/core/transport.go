@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/sketch"
 	"repro/internal/summary"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -112,6 +113,14 @@ func (s *MonitorServer) handle(conn net.Conn, msg *wire.Message) error {
 			}
 		}
 		esp.End()
+		// Trailers ride the first summary payload. The sketch digest goes
+		// first — its block carries an explicit length so a decoder can
+		// skip it — then the trace context, which claims everything to the
+		// end of the payload. Both are absent when their feature is off,
+		// keeping the frame byte-identical to the plain wire format.
+		if d := s.Monitor.SketchDigest(epoch); d != nil {
+			payloads[0] = d.AppendWire(payloads[0])
+		}
 		if ctx := trace.TakeContext(s.Monitor.ID()); ctx != nil {
 			payloads[0] = ctx.AppendWire(payloads[0])
 		}
@@ -418,10 +427,12 @@ func (r *RemoteMonitor) QueryLoad() (float64, error) {
 // Poll asks the monitor for its queued summaries for the given epoch.
 // A declining monitor yields an empty slice; pending is the monitor's
 // reported count of buffered-but-unsummarized packets, from the
-// decline frame that terminates every poll.
-func (r *RemoteMonitor) Poll(epoch uint64) (ss []*summary.Summary, pending int, err error) {
+// decline frame that terminates every poll. digest is the monitor's
+// sketch digest when its sketch pass is on (nil otherwise); it rides
+// the first summary frame, so a fully declining poll carries none.
+func (r *RemoteMonitor) Poll(epoch uint64) (ss []*summary.Summary, pending int, digest *sketch.Digest, err error) {
 	err = r.exchange(func(conn net.Conn) error {
-		ss, pending = nil, 0 // restart cleanly on retry
+		ss, pending, digest = nil, 0, nil // restart cleanly on retry
 		if err := wire.WriteFrame(conn, wire.MsgSummaryRequest, wire.EncodeSummaryRequest(epoch)); err != nil {
 			return err
 		}
@@ -437,12 +448,15 @@ func (r *RemoteMonitor) Poll(epoch uint64) (ss []*summary.Summary, pending int, 
 				// must not pollute it.
 				recv := trace.NowNano()
 				dsp := trace.StartSpan(nil, trace.StageDecode, r.id, epoch)
-				s, ctx, err := decodeSummaryPayload(msg.Payload)
+				s, dg, ctx, err := decodeSummaryPayload(msg.Payload)
 				dsp.End()
 				if err != nil {
 					return err
 				}
 				trace.AddRemoteContext(epoch, ctx, recv)
+				if dg != nil {
+					digest = dg
+				}
 				ss = append(ss, s)
 			case wire.MsgSummaryDecline:
 				_, _, pending, err = wire.DecodeSummaryDecline(msg.Payload)
@@ -453,38 +467,48 @@ func (r *RemoteMonitor) Poll(epoch uint64) (ss []*summary.Summary, pending int, 
 		}
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
-	return ss, pending, nil
+	return ss, pending, digest, nil
 }
 
 // decodeSummaryPayload splits a MsgSummary payload into the encoded
-// summary and the optional trailing trace-context block a tracing
-// monitor appends (see trace.Context). Plain payloads — from old peers
-// or tracing-off monitors — yield a nil context.
-func decodeSummaryPayload(p []byte) (*summary.Summary, *trace.Context, error) {
+// summary and its optional trailers: a sketch digest (length-delimited,
+// first) and a trace-context block (last; see trace.Context). Plain
+// payloads — from old peers or feature-off monitors — yield nils.
+func decodeSummaryPayload(p []byte) (*summary.Summary, *sketch.Digest, *trace.Context, error) {
 	n, err := summary.EncodedLen(p)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	s, err := summary.Unmarshal(p[:n])
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	if n == len(p) {
-		return s, nil, nil
+	rest := p[n:]
+	var dg *sketch.Digest
+	if sketch.IsDigest(rest) {
+		var consumed int
+		dg, consumed, err = sketch.DecodeDigest(rest)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: summary sketch digest: %w", err)
+		}
+		rest = rest[consumed:]
 	}
-	ctx, err := trace.DecodeContext(p[n:])
+	if len(rest) == 0 {
+		return s, dg, nil, nil
+	}
+	ctx, err := trace.DecodeContext(rest)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: summary trace context: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: summary trace context: %w", err)
 	}
-	return s, ctx, nil
+	return s, dg, ctx, nil
 }
 
 // PollSummaries asks the monitor for its queued summaries for the given
 // epoch. A declining monitor yields an empty slice.
 func (r *RemoteMonitor) PollSummaries(epoch uint64) ([]*summary.Summary, error) {
-	ss, _, err := r.Poll(epoch)
+	ss, _, _, err := r.Poll(epoch)
 	return ss, err
 }
 

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/sketch"
+	"repro/internal/summary"
+	"repro/internal/trafficgen"
+)
+
+// The overload ablation quantifies what the sketch-assisted ingest pass
+// buys when the offered packet rate exceeds what the batch slab was
+// provisioned for: with shedding off the summarization work grows
+// linearly with load, with shedding on the admitted volume is pinned at
+// the watermark while heavy hitters (the attack) are never shed — so
+// SYN-flood detection and the volumetric verdict survive 10× overload
+// at ~1× summarization cost.
+
+// overloadVictim is the flood victim across every cell (10.0.0.42).
+const overloadVictim = 0x0A00002A
+
+// OverloadCell is one (load multiplier, shedding mode) run.
+type OverloadCell struct {
+	// Load is the offered-rate multiplier over the provisioned volume.
+	Load int
+	// Shedding reports whether the sketch ingest pass was armed.
+	Shedding bool
+	// Offered is the total packets offered across all epochs.
+	Offered int
+	// Shed and Kept split Offered per the monitors' accounting
+	// (Shedding off ⇒ Shed 0, Kept = Offered).
+	Shed, Kept uint64
+	// Summarized is the total packets the shipped summaries stand for —
+	// the SVD+k-means work actually done.
+	Summarized int
+	// DetectedEpochs counts active epochs with a SYN-flood alert, out
+	// of ActiveEpochs.
+	DetectedEpochs, ActiveEpochs int
+	// VolumetricHit reports whether any active epoch's merged digest
+	// report named the victim in its destination verdicts.
+	VolumetricHit bool
+}
+
+// ShedFraction returns shed/offered for the cell.
+func (c OverloadCell) ShedFraction() float64 {
+	if c.Offered == 0 {
+		return 0
+	}
+	return float64(c.Shed) / float64(c.Offered)
+}
+
+// OverloadResult is the full 1×/5×/10× × {shed off, shed on} grid.
+type OverloadResult struct {
+	// BasePackets is the provisioned per-epoch volume (the 1× point and
+	// the per-monitor shed watermark).
+	BasePackets int
+	Cells       []OverloadCell
+}
+
+// Cell returns the cell for a load/mode pair, or nil.
+func (r *OverloadResult) Cell(load int, shedding bool) *OverloadCell {
+	for i := range r.Cells {
+		if r.Cells[i].Load == load && r.Cells[i].Shedding == shedding {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Overload runs the overload grid: a two-monitor pipeline provisioned
+// for BasePackets/epoch, offered 1×, 5× and 10× that rate during a
+// SYN-flood window, with the sketch ingest pass off and on. Same seed
+// and load ⇒ identical traffic in both modes, so every difference in a
+// row pair is the shedding policy.
+func Overload(quick bool) (*OverloadResult, *Table, error) {
+	base, epochs, onset, offset := 3000, 6, 2, 5
+	if quick {
+		base, epochs, onset, offset = 1500, 5, 2, 4
+	}
+	loads := []int{1, 5, 10}
+
+	env := Env()
+	questions, err := rules.LibraryQuestions(env, rules.TranslateConfig{
+		DefaultDistanceThreshold: 0.05,
+		VarianceThreshold:        0.003,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Thresholds are calibrated for the provisioned volume: overload is
+	// precisely the traffic the operating point did not expect.
+	for id, q := range questions {
+		questions[id] = q.ScaleForVolume(base)
+	}
+
+	res := &OverloadResult{BasePackets: base}
+	for _, load := range loads {
+		for _, shedding := range []bool{false, true} {
+			cell, err := runOverloadCell(questions, base, load, epochs, onset, offset, shedding)
+			if err != nil {
+				return nil, nil, fmt.Errorf("overload %dx shedding=%v: %w", load, shedding, err)
+			}
+			res.Cells = append(res.Cells, *cell)
+		}
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("Overload ablation (provisioned %d pkts/epoch; per-monitor watermark %d, hard ceiling 2x)", base, base*5/8),
+		Columns: []string{"load", "shed", "offered", "summarized", "shed%", "detect", "volumetric"},
+		Notes: []string{
+			"summarized: packets the shipped summaries stand for — the SVD+k-means work done",
+			"with shedding on, summarized is pinned at the admission ceiling — identical at 5x and 10x — so the slab is load-shed, not overrun",
+			"detect: active epochs with a syn_flood alert / active epochs (heavy hitters are shed last)",
+			"volumetric: merged sketch digests named the victim without any raw fetch",
+		},
+	}
+	for _, c := range res.Cells {
+		mode := "off"
+		if c.Shedding {
+			mode = "on"
+		}
+		vol := "-"
+		if c.Shedding {
+			vol = fmt.Sprintf("%v", c.VolumetricHit)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx", c.Load),
+			mode,
+			fmt.Sprintf("%d", c.Offered),
+			fmt.Sprintf("%d", c.Summarized),
+			pct(c.ShedFraction()),
+			fmt.Sprintf("%d/%d", c.DetectedEpochs, c.ActiveEpochs),
+			vol,
+		})
+	}
+	return res, t, nil
+}
+
+// runOverloadCell streams one cell's traffic through a fresh pipeline.
+func runOverloadCell(questions map[rules.AttackID]*rules.Question, base, load, epochs, onset, offset int, shedding bool) (*OverloadCell, error) {
+	scfg := sketch.Config{}
+	if shedding {
+		// Each of the two monitors is provisioned for its half of the
+		// base rate plus 25 % headroom; the default hard ceiling (2×)
+		// bounds a monitor's slab at 1.25× the base rate no matter the
+		// offered load.
+		scfg = sketch.DefaultConfig(base * 5 / 8)
+	}
+	pipe, err := core.NewPipeline(core.PipelineConfig{
+		NumMonitors: 2,
+		Summary: summary.Config{
+			BatchSize: 500, Rank: 12, Centroids: 100, MinBatch: 100, Seed: 11,
+		},
+		Sketch:     scfg,
+		Controller: core.ControllerConfig{Env: Env(), Questions: questions},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	seed := int64(9000 + load) // same traffic for both modes of a load
+	bg := trafficgen.NewBackground(trafficgen.DefaultBackgroundConfig(seed))
+	atk, err := trafficgen.NewAttack(rules.AttackSYNFlood,
+		trafficgen.AttackConfig{Seed: seed + 1, Victim: overloadVictim})
+	if err != nil {
+		return nil, err
+	}
+	// 20 % attack share: a flood decisively over the 10 % volumetric
+	// verdict gate, so the digest path has a clean target at every load.
+	mix := trafficgen.NewMixer(bg, atk, trafficgen.MixConfig{Seed: seed + 2, AttackFraction: 0.2})
+
+	cell := &OverloadCell{Load: load, Shedding: shedding}
+	for e := 0; e < epochs; e++ {
+		active := e >= onset && e < offset
+		n := base * load
+		for i := 0; i < n; i++ {
+			var h packet.Header
+			if active {
+				h = mix.Next().Header
+			} else {
+				h = bg.Next()
+			}
+			if err := pipe.Ingest(h); err != nil {
+				return nil, err
+			}
+		}
+		cell.Offered += n
+		alerts, err := pipe.RunEpoch()
+		if err != nil {
+			return nil, err
+		}
+		if active {
+			cell.ActiveEpochs++
+			for _, a := range alerts {
+				if a.Attack == rules.AttackSYNFlood {
+					cell.DetectedEpochs++
+					break
+				}
+			}
+			if rep := pipe.Controller.Volumetric(); rep != nil {
+				for _, v := range rep.Verdicts {
+					if v.Dimension == "dst" && v.Addr == overloadVictim {
+						cell.VolumetricHit = true
+					}
+				}
+			}
+		}
+		if rep := pipe.Controller.Volumetric(); rep != nil {
+			cell.Shed += rep.Shed
+			cell.Kept += rep.Kept
+		}
+	}
+	if !shedding {
+		cell.Kept = uint64(cell.Offered)
+	}
+	cell.Summarized = pipe.Controller.Stats().PacketsSummarized
+	return cell, nil
+}

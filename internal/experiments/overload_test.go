@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+// The overload grid's load-shedding contract, pinned at quick scale:
+// shedding off tracks offered load linearly; shedding on is bounded at
+// the admission ceiling, keeps detecting the flood, and the volumetric
+// path names the victim from digests alone.
+func TestOverloadQuick(t *testing.T) {
+	res, tbl, err := Overload(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl == nil || len(tbl.Rows) != 6 {
+		t.Fatalf("want 6 grid rows, got %+v", tbl)
+	}
+	for _, load := range []int{1, 5, 10} {
+		off, on := res.Cell(load, false), res.Cell(load, true)
+		if off == nil || on == nil {
+			t.Fatalf("missing cells at %dx", load)
+		}
+		if off.Shed != 0 || off.Summarized != off.Offered {
+			t.Fatalf("%dx shed-off must summarize everything: %+v", load, off)
+		}
+		if on.Offered != off.Offered {
+			t.Fatalf("%dx modes saw different traffic: %d vs %d", load, on.Offered, off.Offered)
+		}
+		if on.Kept+on.Shed != uint64(on.Offered) {
+			t.Fatalf("%dx shed-on accounting inconsistent: %+v", load, on)
+		}
+		if on.DetectedEpochs != on.ActiveEpochs {
+			t.Fatalf("%dx shed-on missed the flood: %d/%d epochs", load, on.DetectedEpochs, on.ActiveEpochs)
+		}
+		if !on.VolumetricHit {
+			t.Fatalf("%dx shed-on volumetric report must name the victim", load)
+		}
+	}
+	if on1 := res.Cell(1, true); on1.Shed != 0 {
+		t.Fatalf("1x must not shed at the provisioned watermark: %+v", on1)
+	}
+	five, ten := res.Cell(5, true), res.Cell(10, true)
+	if five.Shed == 0 || ten.Shed == 0 {
+		t.Fatal("overload cells must shed")
+	}
+	// The bounded-slab claim: doubling the overload must not grow the
+	// summarization work — admissions are pinned at the hard ceiling.
+	if ten.Summarized != five.Summarized {
+		t.Fatalf("summarized grew with load under shedding: 5x=%d 10x=%d",
+			five.Summarized, ten.Summarized)
+	}
+	if ten.ShedFraction() <= five.ShedFraction() {
+		t.Fatalf("shed fraction must grow with load: 5x=%.3f 10x=%.3f",
+			five.ShedFraction(), ten.ShedFraction())
+	}
+}

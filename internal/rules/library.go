@@ -74,6 +74,11 @@ var libraryText = map[AttackID]string{
 	// within one 2 s epoch are too small to track on summaries, so the
 	// equivalent rule tracks the single targeted server (by_dst) and
 	// the postprocessor separates distributed sources by variance.
+	// count 8 is the literal per-destination threshold the raw engine
+	// enforces when the feedback loop re-analyzes fetched packets; the
+	// summary-side count threshold is raised above it in translation
+	// (see LibraryQuestion) because cluster mass overcounts literal
+	// matches.
 	AttackSSHBruteForce: `alert tcp any any -> $HOME_NET 22 (msg:"SSH brute force login attempt"; flags:S; ` +
 		`detection_filter: track by_dst, count 8, seconds 60; sid:1000004; rev:1;)`,
 	AttackSockstress: `alert tcp any any -> $HOME_NET any (msg:"Sockstress window-0 DoS"; flags:A; window:0; ` +
@@ -200,7 +205,23 @@ func LibraryQuestion(id AttackID, env *Environment, cfg TranslateConfig) (*Quest
 	// rule (benign minimum window 8192/65535 over 6 fields ≈ 0.021)
 	// scales by 0.35.
 	switch id {
-	case AttackSSHBruteForce, AttackMiraiScan:
+	case AttackSSHBruteForce:
+		q.TauDScale = 0.002
+		q = q.WithDistanceThreshold(q.DistanceThreshold * q.TauDScale)
+		// Summary counts are cluster mass, not literal rule matches:
+		// the winning dst window's clusters carry mixed members, so
+		// the organic port-22 mass concentrating on the Zipf-head
+		// server measures up to ≈16 per epoch against the rule's
+		// literal count of 8 — enough for a summary-only match to
+		// false-alert on a popular server. The summary-side threshold
+		// is therefore 2.5× the rule's literal count: anything at or
+		// above it is unambiguous brute-force mass, while the
+		// [8, 20) band is decided by the feedback loop's raw
+		// re-analysis, where the engine enforces the literal
+		// per-destination count 8 on actual packets (benign windows
+		// never concentrate 8 literal port-22 SYNs on one server).
+		q = q.WithCountThreshold(20)
+	case AttackMiraiScan:
 		q.TauDScale = 0.002
 		q = q.WithDistanceThreshold(q.DistanceThreshold * q.TauDScale)
 	case AttackSockstress:

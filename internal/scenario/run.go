@@ -16,6 +16,36 @@ import (
 // above the attack injection cap, as real crowds are).
 const surgeEvery = 8
 
+// corpusFeedback returns the per-attack two-stage feedback configs the
+// corpus runs with. Only SSH brute force carries one today: its
+// summary-side operating point (τ_d at the port-pinned 1e-4, count 20)
+// is deliberately strict — the organic port-22 mass concentrating on
+// the Zipf-head server reaches cluster counts of ≈16, so a summary-only
+// verdict cannot tell a small brute force from a popular server's
+// login traffic. Stage 2 relaxes both knobs (6× the distance threshold
+// to recover attack mass hiding in contaminated clusters, count back to
+// the rule's literal 8), and everything stage 1 missed is settled by
+// fetching the raw packets behind the suspect window: the Snort engine
+// then enforces the literal 8-SYNs-to-one-destination filter, which
+// benign windows never satisfy (their cluster mass is mixed traffic,
+// not 8 literal port-22 SYNs on one server). The other questions keep
+// the plain single-threshold path: their operating points already
+// separate cleanly on summaries, and an empty Feedback entry means no
+// raw fetches are ever issued for them.
+func corpusFeedback(questions map[rules.AttackID]*rules.Question) map[rules.AttackID]inference.FeedbackConfig {
+	q, ok := questions[rules.AttackSSHBruteForce]
+	if !ok {
+		return nil
+	}
+	return map[rules.AttackID]inference.FeedbackConfig{
+		rules.AttackSSHBruteForce: {
+			TauD1:       q.DistanceThreshold,
+			TauD2:       6 * q.DistanceThreshold,
+			CountScale2: 0.4,
+		},
+	}
+}
+
 // Run executes one scenario end to end under a profile: builds the
 // pipeline, streams every epoch's labelled traffic through it, and
 // scores the raised alerts against ground truth. The result is a pure
@@ -47,6 +77,7 @@ func Run(s Scenario, p Profile) (*Result, error) {
 		},
 		Controller: core.ControllerConfig{
 			Env: env, Questions: questions, Workers: p.Workers,
+			Feedback: corpusFeedback(questions), UseFeedback: true,
 		},
 		Workers: p.Workers,
 	})

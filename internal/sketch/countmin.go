@@ -1,24 +1,52 @@
-// Package sketch implements a count-min sketch, the targeted-measurement
-// baseline the paper discusses (§2, §8): sketches give strong per-query
-// guarantees but are bound to one pre-declared dimension (or field
-// combination), which is why attack signatures over arbitrary header-field
-// correlations would need a combinatorial number of them — the scaling
-// argument motivating Jaal's summaries.
+// Package sketch implements the per-epoch ingest sketches: a count-min
+// sketch for heavy-hitter estimates and a HyperLogLog flow-cardinality
+// sketch. The paper discusses sketches as the targeted-measurement
+// baseline (§2, §8): strong per-query guarantees bound to one
+// pre-declared dimension, which is why covering arbitrary header-field
+// correlations needs a combinatorial number of them — the scaling
+// argument motivating Jaal's summaries. Here they play the AMON role
+// instead: a cheap pass *in front of* the expensive summarizer that
+// classifies flows as heavy or mice so a monitor can shed load under
+// overload, and a compact digest the controller can use for volumetric
+// verdicts without raw fetches.
 package sketch
 
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math"
 )
 
+// FNV-1a constants (hash/fnv), inlined so the hot path never constructs
+// a hasher.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvFold8 folds the eight big-endian bytes of v into an FNV-1a state.
+func fnvFold8(h, v uint64) uint64 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		h ^= (v >> uint(shift)) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // CountMin is a count-min sketch over uint64 keys.
 type CountMin struct {
-	width  int
-	depth  int
-	counts [][]uint64
-	total  uint64
+	width int
+	depth int
+	// counts is the depth×width matrix stored flat (row-major): one
+	// allocation, cache-friendly rows, and Reset is a single clear.
+	counts []uint64
+	// rowBase[r] is the FNV-1a state after folding row r's full 8-byte
+	// salt. Precomputing it makes hash() equivalent to hashing the
+	// 16-byte concatenation salt‖key without touching a buffer, and the
+	// 8-byte salt fixes the old byte(row) truncation where rows ≥ 256
+	// silently reused row r%256's bucket stream.
+	rowBase []uint64
+	total   uint64
 }
 
 // NewCountMin builds a sketch with error bound epsilon (relative to the
@@ -33,27 +61,39 @@ func NewCountMin(epsilon, delta float64) (*CountMin, error) {
 	if d < 1 {
 		d = 1
 	}
-	cm := &CountMin{width: w, depth: d, counts: make([][]uint64, d)}
-	for i := range cm.counts {
-		cm.counts[i] = make([]uint64, w)
+	return NewCountMinDims(w, d)
+}
+
+// NewCountMinDims builds a sketch with explicit dimensions (used by the
+// digest decoder and by callers that size by memory budget instead of
+// error bound).
+func NewCountMinDims(width, depth int) (*CountMin, error) {
+	if width < 1 || depth < 1 {
+		return nil, fmt.Errorf("sketch: need width ≥ 1 and depth ≥ 1, got %d×%d", width, depth)
+	}
+	cm := &CountMin{
+		width:   width,
+		depth:   depth,
+		counts:  make([]uint64, width*depth),
+		rowBase: make([]uint64, depth),
+	}
+	for r := range cm.rowBase {
+		cm.rowBase[r] = fnvFold8(fnvOffset64, uint64(r))
 	}
 	return cm, nil
 }
 
-// hash computes the row-i bucket for a key using FNV with a per-row salt.
+// hash computes the row's bucket for a key: FNV-1a over the 16-byte
+// big-endian concatenation of the row salt and the key, with the salt
+// half precomputed into rowBase. Zero allocations.
 func (c *CountMin) hash(row int, key uint64) int {
-	h := fnv.New64a()
-	var buf [9]byte
-	buf[0] = byte(row)
-	binary.BigEndian.PutUint64(buf[1:], key)
-	h.Write(buf[:])
-	return int(h.Sum64() % uint64(c.width))
+	return int(fnvFold8(c.rowBase[row], key) % uint64(c.width))
 }
 
 // Add increments the key's count.
 func (c *CountMin) Add(key uint64, delta uint64) {
 	for row := 0; row < c.depth; row++ {
-		c.counts[row][c.hash(row, key)] += delta
+		c.counts[row*c.width+c.hash(row, key)] += delta
 	}
 	c.total += delta
 }
@@ -62,7 +102,7 @@ func (c *CountMin) Add(key uint64, delta uint64) {
 func (c *CountMin) Estimate(key uint64) uint64 {
 	min := uint64(math.MaxUint64)
 	for row := 0; row < c.depth; row++ {
-		if v := c.counts[row][c.hash(row, key)]; v < min {
+		if v := c.counts[row*c.width+c.hash(row, key)]; v < min {
 			min = v
 		}
 	}
@@ -71,6 +111,69 @@ func (c *CountMin) Estimate(key uint64) uint64 {
 
 // Total returns the stream total.
 func (c *CountMin) Total() uint64 { return c.total }
+
+// Reset clears the sketch for the next epoch without reallocating.
+func (c *CountMin) Reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+	c.total = 0
+}
+
+// Merge adds another sketch's counts cell-wise. Count-min sketches with
+// identical dimensions (and therefore identical hash streams) merge
+// exactly: the merged estimate obeys the same ε·total bound over the
+// combined stream.
+func (c *CountMin) Merge(o *CountMin) error {
+	if o.width != c.width || o.depth != c.depth {
+		return fmt.Errorf("sketch: merge dimension mismatch %d×%d vs %d×%d", c.width, c.depth, o.width, o.depth)
+	}
+	for i, v := range o.counts {
+		c.counts[i] += v
+	}
+	c.total += o.total
+	return nil
+}
+
+// AppendWire serializes the sketch: u32 width, u32 depth, u64 total,
+// then depth×width u64 counts, all big-endian.
+//
+//jaal:pair DecodeCountMin
+func (c *CountMin) AppendWire(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(c.width))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(c.depth))
+	dst = binary.BigEndian.AppendUint64(dst, c.total)
+	for _, v := range c.counts {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// DecodeCountMin parses a sketch serialized by AppendWire and returns
+// the number of bytes consumed.
+func DecodeCountMin(p []byte) (*CountMin, int, error) {
+	if len(p) < 16 {
+		return nil, 0, fmt.Errorf("sketch: count-min header truncated (%d bytes)", len(p))
+	}
+	w := int(binary.BigEndian.Uint32(p[0:4]))
+	d := int(binary.BigEndian.Uint32(p[4:8]))
+	if w < 1 || d < 1 || w > 1<<20 || d > 1<<10 {
+		return nil, 0, fmt.Errorf("sketch: implausible count-min dimensions %d×%d", w, d)
+	}
+	need := 16 + w*d*8
+	if len(p) < need {
+		return nil, 0, fmt.Errorf("sketch: count-min counts truncated (have %d, need %d)", len(p), need)
+	}
+	cm, err := NewCountMinDims(w, d)
+	if err != nil {
+		return nil, 0, err
+	}
+	cm.total = binary.BigEndian.Uint64(p[8:16])
+	for i := range cm.counts {
+		cm.counts[i] = binary.BigEndian.Uint64(p[16+i*8:])
+	}
+	return cm, need, nil
+}
 
 // SizeBytes returns the serialized size: the communication cost a
 // monitor would pay shipping this sketch, used in the paper's §2

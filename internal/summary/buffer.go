@@ -21,6 +21,21 @@ type Batch struct {
 	// tracing is off, and feed nothing but the capture span, so sealed
 	// batches and summaries are identical either way.
 	FirstNano, SealedNano int64
+	// Shed counts the packets the sketch pass dropped before this batch
+	// while it filled: Headers represents len(Headers)+Shed offered
+	// packets, so summaries over subsampled batches stay honestly
+	// weighted. Zero whenever shedding is off.
+	Shed uint64
+}
+
+// ShedFraction returns the fraction of the batch's offered packets that
+// were shed before buffering (0 when nothing was shed).
+func (b *Batch) ShedFraction() float64 {
+	offered := uint64(len(b.Headers)) + b.Shed
+	if offered == 0 {
+		return 0
+	}
+	return float64(b.Shed) / float64(offered)
 }
 
 // Buffer accumulates packet headers at a monitor until a batch of the
@@ -40,6 +55,9 @@ type Buffer struct {
 	firstNano int64
 	// seq numbers sealed batches.
 	seq uint64
+	// shed counts packets dropped by the sketch pass since the last
+	// seal; stamped onto the next sealed batch (see NoteShed).
+	shed uint64
 	// tick is the controller-tick clock driven by AdvanceEpoch.
 	tick uint64
 
@@ -82,6 +100,16 @@ func (b *Buffer) Add(h packet.Header) (*Batch, bool) {
 // Pending returns the number of packets buffered but not yet sealed.
 func (b *Buffer) Pending() int { return len(b.pending) }
 
+// NoteShed records n packets dropped by the sketch pass instead of
+// buffered. The running count is stamped onto the next sealed batch so
+// per-batch accounting stays honest: a fully-shed window (Flush with
+// nothing pending) seals no batch and advances no sequence number, and
+// its shed count carries over to the next batch that does seal.
+func (b *Buffer) NoteShed(n int) { b.shed += uint64(n) }
+
+// ShedPending returns the shed count accumulated since the last seal.
+func (b *Buffer) ShedPending() uint64 { return b.shed }
+
 // Flush seals whatever is buffered, returning nil when empty. It is used
 // when the controller polls monitors for summaries mid-batch (§5.1).
 func (b *Buffer) Flush() *Batch {
@@ -92,10 +120,11 @@ func (b *Buffer) Flush() *Batch {
 }
 
 func (b *Buffer) seal() *Batch {
-	batch := &Batch{Headers: b.pending, Epoch: b.seq, FirstNano: b.firstNano, SealedNano: trace.NowNano()}
+	batch := &Batch{Headers: b.pending, Epoch: b.seq, FirstNano: b.firstNano, SealedNano: trace.NowNano(), Shed: b.shed}
 	b.seq++
 	b.pending = make([]packet.Header, 0, b.batchSize)
 	b.firstNano = 0
+	b.shed = 0
 	return batch
 }
 

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/sketch"
 	"repro/internal/trace"
 )
 
@@ -44,6 +45,24 @@ func FuzzReadFrame(f *testing.F) {
 		{Stage: trace.StageCapture, Seq: 7, Start: 500, Dur: 50},
 	}}
 	seedFrame(f, MsgSummary, tctx.AppendWire([]byte("summary-bytes")))
+	// Summary frames carrying a sketch-digest trailer ("JS" block, see
+	// internal/sketch.Digest): monitors running the sketch pass append
+	// it between the summary bytes and the trace context, so both
+	// trailer orders — digest alone and digest followed by trace — are
+	// production frames.
+	dg := sketch.Digest{
+		MonitorID: 2, Epoch: 9, Offered: 20000, Shed: 12000, Kept: 8000,
+		TopDst: []sketch.HeavyHitter{{Key: 0x0A00002A, Count: 9000}},
+		TopSrc: []sketch.HeavyHitter{{Key: 0xC0A80001, Count: 8800}},
+	}
+	seedFrame(f, MsgSummary, dg.AppendWire([]byte("summary-bytes")))
+	seedFrame(f, MsgSummary, tctx.AppendWire(dg.AppendWire([]byte("summary-bytes"))))
+	// A digest trailer with an unknown version byte (position: after the
+	// 13-byte mock summary, past the "JS" magic), which decoders must
+	// skip by block length.
+	futureDigest := dg.AppendWire([]byte("summary-bytes"))
+	futureDigest[13+2] = 0x7f
+	seedFrame(f, MsgSummary, futureDigest)
 	// A header that promises far more than it delivers.
 	f.Add([]byte{0x00, 0x10, 0x00, 0x00, byte(MsgSummary), 1, 2, 3})
 	// A header past MaxFrameSize.
